@@ -1,0 +1,69 @@
+"""Claim C1 — the 1 Gbps headline (title/abstract) at a 100 MHz clock.
+
+The paper's synthesised configuration (16-QAM, rate 1/2) carries 480 Mbps;
+the 1 Gbps figure requires 64-QAM with rate-3/4 coding (1.08 Gbps), and the
+512-point OFDM variant sustains it as well.  This benchmark regenerates the
+throughput sweep across every modulation/code-rate pair and checks who
+crosses the 1 Gbps line.
+"""
+
+import pytest
+
+from repro.coding.convolutional import CodeRate
+from repro.core.config import TransceiverConfig
+from repro.core.throughput import throughput_for_config, throughput_report
+from repro.modulation.constellations import Modulation
+
+#: (modulation, code rate) -> expected information rate in Gbps at 100 MHz.
+EXPECTED_RATES_GBPS = {
+    ("bpsk", "1/2"): 0.12,
+    ("bpsk", "2/3"): 0.16,
+    ("bpsk", "3/4"): 0.18,
+    ("qpsk", "1/2"): 0.24,
+    ("qpsk", "2/3"): 0.32,
+    ("qpsk", "3/4"): 0.36,
+    ("16qam", "1/2"): 0.48,
+    ("16qam", "2/3"): 0.64,
+    ("16qam", "3/4"): 0.72,
+    ("64qam", "1/2"): 0.72,
+    ("64qam", "2/3"): 0.96,
+    ("64qam", "3/4"): 1.08,
+}
+
+
+@pytest.mark.benchmark(group="claim-throughput")
+def test_claim_1gbps_throughput(benchmark, table_printer):
+    rows = benchmark(throughput_report)
+
+    table_printer(
+        "Claim C1: information bit rate at 100 MHz (4 spatial streams, 64-pt OFDM)",
+        ["modulation", "rate", "Gbps", "expected", ">= 1 Gbps"],
+        [
+            (
+                row["modulation"],
+                row["code_rate"],
+                f"{row['info_rate_gbps']:.3f}",
+                EXPECTED_RATES_GBPS[(row["modulation"], row["code_rate"])],
+                row["meets_1gbps"],
+            )
+            for row in rows
+        ],
+    )
+
+    for row in rows:
+        expected = EXPECTED_RATES_GBPS[(row["modulation"], row["code_rate"])]
+        assert row["info_rate_gbps"] == pytest.approx(expected, rel=1e-9)
+
+    gigabit = [row for row in rows if row["meets_1gbps"]]
+    assert len(gigabit) == 1
+    assert (gigabit[0]["modulation"], gigabit[0]["code_rate"]) == ("64qam", "3/4")
+
+    # The synthesised configuration of Tables 1-4 runs at 480 Mbps.
+    synthesised = throughput_for_config(TransceiverConfig.paper_default())
+    assert synthesised.info_bit_rate_bps == pytest.approx(480e6)
+
+    # The 512-point variant discussed in Section V also sustains > 1 Gbps.
+    large = throughput_for_config(
+        TransceiverConfig(fft_size=512, modulation=Modulation.QAM64, code_rate=CodeRate.RATE_3_4)
+    )
+    assert large.info_bit_rate_bps >= 1e9

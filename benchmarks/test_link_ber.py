@@ -1,0 +1,69 @@
+"""Link-level validation — BER vs SNR of the complete 4x4 MIMO-OFDM chain.
+
+The paper validates the datapath functionally (test benches feeding the
+hardware) rather than publishing BER curves; this benchmark provides the
+implicit link-level evidence behind the design: the end-to-end chain
+(coding, interleaving, preamble, channel estimation, ZF detection, Viterbi)
+closes the link, BER falls monotonically with SNR, and denser constellations
+need more SNR — the qualitative shape any correct implementation must show.
+"""
+
+import pytest
+
+from repro.channel.fading import FlatRayleighChannel
+from repro.channel.model import MimoChannel
+from repro.core.config import TransceiverConfig
+from repro.core.transceiver import simulate_link
+
+SNR_POINTS_DB = [6.0, 14.0, 22.0, 30.0]
+N_INFO_BITS = 300
+N_BURSTS = 2
+
+
+def _ber_curve(modulation: str) -> dict:
+    config = TransceiverConfig(modulation=modulation)
+    curve = {}
+    for snr_db in SNR_POINTS_DB:
+        channel = MimoChannel(FlatRayleighChannel(rng=400), snr_db=snr_db, rng=401)
+        stats = simulate_link(
+            config, channel, n_info_bits=N_INFO_BITS, n_bursts=N_BURSTS, rng=402
+        )
+        curve[snr_db] = stats["bit_error_rate"]
+    return curve
+
+
+@pytest.mark.benchmark(group="link-ber")
+def test_link_ber_16qam(benchmark, table_printer):
+    curve = benchmark.pedantic(_ber_curve, args=("16qam",), rounds=1, iterations=1)
+    table_printer(
+        "Link BER vs SNR — 16-QAM rate 1/2 (paper's synthesised configuration)",
+        ["SNR (dB)", "BER"],
+        [(snr, f"{ber:.4f}") for snr, ber in curve.items()],
+    )
+    bers = list(curve.values())
+    # Monotone (non-increasing) BER with SNR and an error-free top point.
+    assert all(bers[i] >= bers[i + 1] for i in range(len(bers) - 1))
+    assert bers[-1] == 0.0
+    assert bers[0] > 0.0
+
+
+@pytest.mark.benchmark(group="link-ber")
+def test_link_ber_qpsk_vs_64qam(benchmark, table_printer):
+    def _both():
+        return _ber_curve("qpsk"), _ber_curve("64qam")
+
+    qpsk, qam64 = benchmark.pedantic(_both, rounds=1, iterations=1)
+    table_printer(
+        "Link BER vs SNR — QPSK vs 64-QAM (rate 1/2, flat Rayleigh)",
+        ["SNR (dB)", "QPSK BER", "64-QAM BER"],
+        [
+            (snr, f"{qpsk[snr]:.4f}", f"{qam64[snr]:.4f}")
+            for snr in SNR_POINTS_DB
+        ],
+    )
+    # Denser constellations need more SNR: at every point 64-QAM is no
+    # better than QPSK, and QPSK closes the link at a lower SNR.
+    for snr in SNR_POINTS_DB:
+        assert qam64[snr] >= qpsk[snr]
+    assert qpsk[SNR_POINTS_DB[-2]] == 0.0
+    assert qam64[SNR_POINTS_DB[-1]] <= 0.01

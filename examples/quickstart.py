@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Quickstart: run one 4x4 MIMO-OFDM burst end to end.
+
+Builds the paper's synthesised configuration (4x4, 16-QAM, 64-point OFDM,
+rate-1/2 coding at 100 MHz), pushes a random payload through a flat Rayleigh
+channel with AWGN, and decodes it — printing what every stage recovered.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MimoChannel, MimoTransceiver, TransceiverConfig
+from repro.channel import FlatRayleighChannel
+from repro.core.throughput import throughput_for_config
+
+
+def main() -> None:
+    config = TransceiverConfig.paper_default()
+    print("Configuration:")
+    print(f"  antennas            : {config.n_antennas}x{config.n_antennas}")
+    print(f"  FFT size            : {config.fft_size}")
+    print(f"  modulation          : {config.modulation.value}")
+    print(f"  code rate           : {config.code_rate.value}")
+    print(f"  coded bits / symbol : {config.coded_bits_per_symbol} per stream")
+    print(f"  clock               : {config.clock_hz / 1e6:.0f} MHz")
+
+    throughput = throughput_for_config(config)
+    print(f"  information rate    : {throughput.info_bit_rate_bps / 1e6:.0f} Mbit/s")
+
+    channel = MimoChannel(
+        fading=FlatRayleighChannel(rng=26),
+        snr_db=30.0,
+        sample_delay=25,
+        rng=2,
+    )
+    transceiver = MimoTransceiver(config, channel=channel)
+
+    print("\nRunning one burst of 512 information bits per stream ...")
+    result = transceiver.run_burst(n_info_bits=512, rng=3)
+
+    burst = result.burst
+    print(f"  burst length        : {burst.n_samples} samples "
+          f"({burst.duration_s * 1e6:.1f} us)")
+    print(f"  OFDM data symbols   : {burst.n_ofdm_symbols}")
+    print(f"  LTS located at      : sample {result.receive_result.lts_start} "
+          f"(transmitted at {burst.layout.sts_length + channel.sample_delay})")
+    print(f"  total payload       : {result.total_bits} bits")
+    print(f"  bit errors          : {result.bit_errors}")
+    print(f"  bit error rate      : {result.bit_error_rate:.2e}")
+    for stream in result.receive_result.streams:
+        mean_error = np.mean(np.abs(stream.equalized_symbols)) if stream.equalized_symbols.size else 0
+        print(
+            f"    stream {stream.stream}: BER {stream.bit_error_rate:.2e}, "
+            f"mean equalised magnitude {mean_error:.2f}"
+        )
+
+    if result.bit_errors == 0:
+        print("\nAll four spatial streams decoded without error.")
+    else:
+        print("\nResidual errors remain — try a higher SNR or a lower-order modulation.")
+
+
+if __name__ == "__main__":
+    main()

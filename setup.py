@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so the package can be installed in editable mode on offline machines that
+lack the ``wheel`` package (``pip install -e . --no-use-pep517`` falls back
+to the legacy ``setup.py develop`` path, which needs this shim).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of "An FPGA 1Gbps Wireless Baseband MIMO Transceiver".
+
+A pure-Python reimplementation of the paper's 4x4 MIMO-OFDM baseband
+transceiver (SOCC 2012): the complete transmit and receive datapaths, the
+CORDIC/QRD channel-estimation pipeline, the wireless channel substrate used
+in place of the paper's RF front end, and the FPGA resource/latency models
+used in place of the paper's synthesis toolchain.
+
+Quick start::
+
+    from repro import TransceiverConfig, MimoChannel, simulate_link
+    from repro.channel import FlatRayleighChannel
+
+    config = TransceiverConfig.paper_default()
+    channel = MimoChannel(FlatRayleighChannel(rng=1), snr_db=30, rng=2)
+    stats = simulate_link(config, channel, n_info_bits=512, n_bursts=5, rng=3)
+    print(stats["bit_error_rate"])
+"""
+
+from repro.coding.convolutional import CodeRate
+from repro.channel.model import MimoChannel
+from repro.core.config import OfdmNumerology, TransceiverConfig
+from repro.core.frame import ReceiveResult, TransmitBurst
+from repro.core.receiver import MimoReceiver
+from repro.core.throughput import throughput_for_config, throughput_report
+from repro.core.transceiver import LinkSimulationResult, MimoTransceiver, simulate_link
+from repro.core.transmitter import MimoTransmitter
+from repro.hardware.estimator import ReceiverResourceModel, TransmitterResourceModel
+from repro.modulation.constellations import Modulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodeRate",
+    "Modulation",
+    "MimoChannel",
+    "OfdmNumerology",
+    "TransceiverConfig",
+    "TransmitBurst",
+    "ReceiveResult",
+    "MimoTransmitter",
+    "MimoReceiver",
+    "MimoTransceiver",
+    "LinkSimulationResult",
+    "simulate_link",
+    "throughput_for_config",
+    "throughput_report",
+    "TransmitterResourceModel",
+    "ReceiverResourceModel",
+    "__version__",
+]

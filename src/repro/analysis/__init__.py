@@ -1,0 +1,21 @@
+"""Link-level analysis utilities (extension).
+
+Shannon-capacity and spectral-efficiency helpers used to put the paper's
+1 Gbps headline in context: how many bits/s/Hz the 4x4 MIMO-OFDM air
+interface actually needs, and at what SNR a 4x4 Rayleigh channel offers that
+much capacity.
+"""
+
+from repro.analysis.capacity import (
+    ergodic_mimo_capacity,
+    mimo_capacity,
+    required_snr_for_rate,
+    spectral_efficiency,
+)
+
+__all__ = [
+    "mimo_capacity",
+    "ergodic_mimo_capacity",
+    "spectral_efficiency",
+    "required_snr_for_rate",
+]

@@ -1,0 +1,60 @@
+"""Additive white Gaussian noise helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+def noise_variance_for_snr(snr_db: float, signal_power: float = 1.0) -> float:
+    """Complex noise variance achieving ``snr_db`` for the given signal power."""
+    if signal_power <= 0:
+        raise ValueError("signal_power must be positive")
+    return signal_power / (10.0 ** (snr_db / 10.0))
+
+
+def awgn_noise(
+    shape: tuple[int, ...] | int,
+    variance: float,
+    rng: SeedLike = None,
+) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise with total variance ``variance``."""
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    generator = make_rng(rng)
+    scale = np.sqrt(variance / 2.0)
+    real = generator.normal(0.0, 1.0, size=shape)
+    imag = generator.normal(0.0, 1.0, size=shape)
+    return scale * (real + 1j * imag)
+
+
+def add_awgn(
+    signal: np.ndarray,
+    snr_db: float,
+    rng: SeedLike = None,
+    measure_power: bool = True,
+) -> np.ndarray:
+    """Add AWGN to ``signal`` at the requested SNR.
+
+    Parameters
+    ----------
+    signal:
+        Complex baseband samples (any shape).
+    snr_db:
+        Desired signal-to-noise ratio in dB.
+    rng:
+        Seed or generator for reproducibility.
+    measure_power:
+        When True the signal power is measured from ``signal`` (appropriate
+        for OFDM waveforms whose power varies with loading); when False unit
+        signal power is assumed.
+    """
+    samples = np.asarray(signal, dtype=np.complex128)
+    if samples.size == 0:
+        return samples.copy()
+    power = float(np.mean(np.abs(samples) ** 2)) if measure_power else 1.0
+    if power == 0.0:
+        return samples.copy()
+    variance = noise_variance_for_snr(snr_db, power)
+    return samples + awgn_noise(samples.shape, variance, rng)

@@ -1,0 +1,152 @@
+"""MIMO fading channel models.
+
+Two models are provided:
+
+* :class:`FlatRayleighChannel` — a single complex 4x4 (or NxM) matrix applied
+  to every sample; the per-subcarrier channel matrices seen by the receiver
+  are then all equal, which makes it the easiest model for validating the
+  channel-estimation/QRD/inversion pipeline.
+* :class:`FrequencySelectiveChannel` — independent Rayleigh taps per
+  transmit/receive antenna pair with an exponential power-delay profile,
+  which produces genuinely different channel matrices per subcarrier (the
+  situation the per-subcarrier estimator in the paper is built for).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+def rayleigh_matrix(
+    n_rx: int, n_tx: int, rng: SeedLike = None, normalize: bool = True
+) -> np.ndarray:
+    """Draw an ``n_rx x n_tx`` i.i.d. Rayleigh (complex Gaussian) channel matrix.
+
+    With ``normalize`` the entries have unit average power, so the average
+    received power per antenna equals the transmitted power per antenna times
+    ``n_tx``.
+    """
+    if n_rx <= 0 or n_tx <= 0:
+        raise ValueError("antenna counts must be positive")
+    generator = make_rng(rng)
+    h = generator.normal(size=(n_rx, n_tx)) + 1j * generator.normal(size=(n_rx, n_tx))
+    h /= np.sqrt(2.0)
+    if not normalize:
+        h *= np.sqrt(2.0)
+    return h
+
+
+def exponential_power_delay_profile(n_taps: int, decay: float = 1.0) -> np.ndarray:
+    """Exponentially decaying tap powers, normalised to sum to one."""
+    if n_taps <= 0:
+        raise ValueError("n_taps must be positive")
+    if decay <= 0:
+        raise ValueError("decay must be positive")
+    powers = np.exp(-np.arange(n_taps) / decay)
+    return powers / powers.sum()
+
+
+class FlatRayleighChannel:
+    """Frequency-flat Rayleigh MIMO channel.
+
+    Applies a single channel matrix ``H`` to the per-antenna sample streams:
+    ``y = H @ x`` sample by sample.
+    """
+
+    def __init__(
+        self,
+        n_rx: int = 4,
+        n_tx: int = 4,
+        rng: SeedLike = None,
+        matrix: Optional[np.ndarray] = None,
+    ) -> None:
+        self.n_rx = n_rx
+        self.n_tx = n_tx
+        if matrix is not None:
+            h = np.asarray(matrix, dtype=np.complex128)
+            if h.shape != (n_rx, n_tx):
+                raise ValueError(f"matrix must have shape ({n_rx}, {n_tx})")
+            self.matrix = h
+        else:
+            self.matrix = rayleigh_matrix(n_rx, n_tx, rng)
+
+    def apply(self, tx_samples: np.ndarray) -> np.ndarray:
+        """Apply the channel to ``tx_samples`` of shape ``(n_tx, n_samples)``."""
+        x = np.asarray(tx_samples, dtype=np.complex128)
+        if x.ndim != 2 or x.shape[0] != self.n_tx:
+            raise ValueError(f"expected shape ({self.n_tx}, n_samples), got {x.shape}")
+        return self.matrix @ x
+
+    def frequency_response(self, fft_size: int) -> np.ndarray:
+        """Channel matrix per subcarrier, shape ``(fft_size, n_rx, n_tx)``."""
+        return np.broadcast_to(
+            self.matrix, (fft_size, self.n_rx, self.n_tx)
+        ).copy()
+
+
+class FrequencySelectiveChannel:
+    """Frequency-selective Rayleigh MIMO channel (tapped delay line).
+
+    Each transmit/receive antenna pair has ``n_taps`` independent complex
+    Gaussian taps drawn from an exponential power-delay profile.  The taps
+    are fixed at construction (block fading), matching the paper's assumption
+    that the channel is static across one burst so a single preamble-based
+    estimate serves the whole burst.
+    """
+
+    def __init__(
+        self,
+        n_rx: int = 4,
+        n_tx: int = 4,
+        n_taps: int = 4,
+        decay: float = 2.0,
+        rng: SeedLike = None,
+        taps: Optional[np.ndarray] = None,
+    ) -> None:
+        if n_taps <= 0:
+            raise ValueError("n_taps must be positive")
+        self.n_rx = n_rx
+        self.n_tx = n_tx
+        self.n_taps = n_taps
+        if taps is not None:
+            t = np.asarray(taps, dtype=np.complex128)
+            if t.shape != (n_rx, n_tx, n_taps):
+                raise ValueError(f"taps must have shape ({n_rx}, {n_tx}, {n_taps})")
+            self.taps = t
+        else:
+            generator = make_rng(rng)
+            profile = exponential_power_delay_profile(n_taps, decay)
+            gains = generator.normal(size=(n_rx, n_tx, n_taps)) + 1j * generator.normal(
+                size=(n_rx, n_tx, n_taps)
+            )
+            gains /= np.sqrt(2.0)
+            self.taps = gains * np.sqrt(profile)[None, None, :]
+
+    def apply(self, tx_samples: np.ndarray) -> np.ndarray:
+        """Convolve ``tx_samples`` of shape ``(n_tx, n_samples)`` with the taps."""
+        x = np.asarray(tx_samples, dtype=np.complex128)
+        if x.ndim != 2 or x.shape[0] != self.n_tx:
+            raise ValueError(f"expected shape ({self.n_tx}, n_samples), got {x.shape}")
+        n_samples = x.shape[1]
+        y = np.zeros((self.n_rx, n_samples), dtype=np.complex128)
+        for rx in range(self.n_rx):
+            for tx in range(self.n_tx):
+                full = np.convolve(x[tx], self.taps[rx, tx])
+                y[rx] += full[:n_samples]
+        return y
+
+    def frequency_response(self, fft_size: int) -> np.ndarray:
+        """Exact channel matrix per subcarrier, shape ``(fft_size, n_rx, n_tx)``.
+
+        Useful as the ground truth the receiver's estimate is compared with.
+        """
+        if fft_size < self.n_taps:
+            raise ValueError("fft_size must be at least the number of taps")
+        padded = np.zeros((self.n_rx, self.n_tx, fft_size), dtype=np.complex128)
+        padded[:, :, : self.n_taps] = self.taps
+        response = np.fft.fft(padded, axis=2)
+        return np.transpose(response, (2, 0, 1))

@@ -1,0 +1,59 @@
+"""Analogue/front-end impairments applied to baseband sample streams.
+
+These exercise the correction loops on the receiver datapath: pilot-based
+phase correction handles residual carrier offset, and the feed-forward timing
+(tau) correction handles fractional sample-timing error.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def apply_carrier_frequency_offset(
+    samples: np.ndarray, cfo_normalized: float, start_index: int = 0
+) -> np.ndarray:
+    """Apply a carrier-frequency offset of ``cfo_normalized`` cycles/sample.
+
+    ``samples`` may be a 1-D stream or ``(n_antennas, n_samples)``; the same
+    rotation is applied to every antenna (a shared local oscillator, as in
+    the paper's single-board implementation).
+    """
+    x = np.asarray(samples, dtype=np.complex128)
+    n = x.shape[-1]
+    indices = np.arange(start_index, start_index + n)
+    rotation = np.exp(2j * np.pi * cfo_normalized * indices)
+    return x * rotation
+
+
+def apply_sample_delay(samples: np.ndarray, delay: int) -> np.ndarray:
+    """Delay a sample stream by an integer number of samples (zero padded).
+
+    A positive delay prepends zeros (the burst arrives later), exercising the
+    time synchroniser's search; the stream length is preserved.
+    """
+    x = np.asarray(samples, dtype=np.complex128)
+    if delay == 0:
+        return x.copy()
+    if delay < 0:
+        raise ValueError("delay must be non-negative")
+    n = x.shape[-1]
+    pad_shape = x.shape[:-1] + (delay,)
+    padded = np.concatenate([np.zeros(pad_shape, dtype=np.complex128), x], axis=-1)
+    return padded[..., :n + delay]
+
+
+def apply_iq_imbalance(
+    samples: np.ndarray, amplitude_imbalance_db: float = 0.0, phase_imbalance_deg: float = 0.0
+) -> np.ndarray:
+    """Apply transmit/receive IQ gain and phase imbalance.
+
+    Modelled as ``y = alpha * x + beta * conj(x)`` with the standard
+    amplitude/phase parameterisation.
+    """
+    x = np.asarray(samples, dtype=np.complex128)
+    g = 10.0 ** (amplitude_imbalance_db / 20.0)
+    phi = np.deg2rad(phase_imbalance_deg)
+    alpha = 0.5 * (1.0 + g * np.exp(1j * phi))
+    beta = 0.5 * (1.0 - g * np.exp(1j * phi))
+    return alpha * x + beta * np.conj(x)

@@ -1,0 +1,207 @@
+"""Viterbi decoder (hard and soft decision) with depuncturing.
+
+The paper performs error correction with a Viterbi decoder per receive
+channel (Table 4 lists its resource cost).  The decoder here supports the
+same generic :class:`~repro.coding.convolutional.ConvolutionalCode` the
+encoder uses, hard- or soft-decision branch metrics, and depuncturing of the
+802.11a punctured rates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.coding.convolutional import ConvolutionalCode
+from repro.utils.bits import BitArray
+
+_METRIC_INF = 1e18
+
+
+class ViterbiDecoder:
+    """Maximum-likelihood sequence decoder for convolutional codes.
+
+    Parameters
+    ----------
+    code:
+        Code definition shared with the encoder (defaults to 802.11a K=7).
+    decision:
+        ``"hard"`` — the input is coded bits (0/1) and branch metrics are
+        Hamming distances; ``"soft"`` — the input is log-likelihood ratios
+        (positive LLR means the coded bit is more likely a 0, the convention
+        produced by :mod:`repro.modulation.demapper`) and branch metrics are
+        correlations.
+    traceback_length:
+        Kept for API completeness / resource modelling; this software decoder
+        always runs full-block traceback, which upper-bounds the hardware's
+        windowed traceback performance.
+    """
+
+    def __init__(
+        self,
+        code: Optional[ConvolutionalCode] = None,
+        decision: str = "hard",
+        traceback_length: int = 96,
+    ) -> None:
+        if decision not in ("hard", "soft"):
+            raise ValueError("decision must be 'hard' or 'soft'")
+        self.code = code if code is not None else ConvolutionalCode.ieee80211a()
+        self.decision = decision
+        self.traceback_length = traceback_length
+        self._next_states, self._outputs = self.code.build_trellis()
+        n = self.code.n_outputs
+        # outputs unpacked to individual bits, shape (n_states, 2, n_outputs)
+        shifts = np.arange(n - 1, -1, -1)
+        self._output_bits = ((self._outputs[..., None] >> shifts) & 1).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # depuncturing
+    # ------------------------------------------------------------------
+    def depuncture(
+        self, values: np.ndarray, n_input_bits: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Re-insert erasures removed by the puncturer.
+
+        Parameters
+        ----------
+        values:
+            Received coded values (hard bits or LLRs) in transmission order.
+        n_input_bits:
+            Number of trellis steps (information + tail bits) the block
+            represents.
+
+        Returns
+        -------
+        (full_values, erasure_mask):
+            ``full_values`` has shape ``(n_input_bits, n_outputs)`` with
+            zeros in erased positions, and ``erasure_mask`` is 1 where a real
+            received value is present and 0 where the puncturer deleted the
+            bit.
+        """
+        pattern = self.code.puncture_pattern
+        period = self.code.puncture_period
+        n_out = self.code.n_outputs
+        received = np.asarray(values, dtype=np.float64).ravel()
+        full = np.zeros((n_input_bits, n_out), dtype=np.float64)
+        mask = np.zeros((n_input_bits, n_out), dtype=np.float64)
+        idx = 0
+        for step in range(n_input_bits):
+            column = step % period
+            for out in range(n_out):
+                if pattern[out, column]:
+                    if idx >= received.size:
+                        raise ValueError(
+                            "received stream too short for the requested block length"
+                        )
+                    full[step, out] = received[idx]
+                    mask[step, out] = 1.0
+                    idx += 1
+        if idx != received.size:
+            raise ValueError(
+                f"received stream has {received.size} values but the block "
+                f"consumes {idx}"
+            )
+        return full, mask
+
+    # ------------------------------------------------------------------
+    # branch metrics
+    # ------------------------------------------------------------------
+    def _branch_metrics(
+        self, observation: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Metric of each (state, input) branch for one trellis step.
+
+        Lower is better.  ``observation`` and ``mask`` have length
+        ``n_outputs``.
+        """
+        if self.decision == "hard":
+            # Hamming distance over non-erased positions.
+            diff = np.abs(self._output_bits - observation[None, None, :])
+            return (diff * mask[None, None, :]).sum(axis=-1)
+        # Soft decision: LLR convention is positive => bit 0 more likely.
+        # Metric = sum over outputs of (bit ? +LLR : -LLR), lower better.
+        signs = 1.0 - 2.0 * self._output_bits  # bit0 -> +1, bit1 -> -1
+        return -(signs * (observation * mask)[None, None, :]).sum(axis=-1)
+
+    # ------------------------------------------------------------------
+    # decoding
+    # ------------------------------------------------------------------
+    def decode(
+        self,
+        received: Sequence[float] | np.ndarray,
+        n_info_bits: Optional[int] = None,
+        terminated: bool = True,
+    ) -> BitArray:
+        """Decode a received block back to information bits.
+
+        Parameters
+        ----------
+        received:
+            Hard bits or LLRs, in the (punctured) order the encoder emitted.
+        n_info_bits:
+            Number of information bits to return.  Required when puncturing
+            makes the count ambiguous; when omitted it is inferred assuming
+            an unpunctured, terminated block.
+        terminated:
+            Whether the encoder appended tail bits forcing the final state to
+            zero; when True the decoder both exploits that and strips the
+            tail from its output.
+        """
+        values = np.asarray(received, dtype=np.float64).ravel()
+        tail = self.code.memory if terminated else 0
+        if n_info_bits is None:
+            pattern_sum = int(self.code.puncture_pattern.sum())
+            period = self.code.puncture_period
+            if values.size * period % pattern_sum != 0:
+                raise ValueError(
+                    "cannot infer block length; pass n_info_bits explicitly"
+                )
+            n_steps = values.size * period // pattern_sum
+            n_info_bits = n_steps - tail
+        n_steps = n_info_bits + tail
+        if n_info_bits < 0:
+            raise ValueError("n_info_bits must be non-negative")
+        if n_steps == 0:
+            return np.zeros(0, dtype=np.uint8)
+
+        observations, mask = self.depuncture(values, n_steps)
+
+        n_states = self.code.n_states
+        metrics = np.full(n_states, _METRIC_INF)
+        metrics[0] = 0.0
+        survivors = np.zeros((n_steps, n_states), dtype=np.int64)
+        survivor_bits = np.zeros((n_steps, n_states), dtype=np.uint8)
+
+        next_states = self._next_states
+        for step in range(n_steps):
+            branch = self._branch_metrics(observations[step], mask[step])
+            candidate = metrics[:, None] + branch  # (state, bit)
+            new_metrics = np.full(n_states, _METRIC_INF)
+            best_prev = np.zeros(n_states, dtype=np.int64)
+            best_bit = np.zeros(n_states, dtype=np.uint8)
+            flat_next = next_states.ravel()
+            flat_metric = candidate.ravel()
+            order = np.argsort(flat_metric, kind="stable")
+            seen = np.zeros(n_states, dtype=bool)
+            for idx in order:
+                ns = flat_next[idx]
+                if seen[ns]:
+                    continue
+                seen[ns] = True
+                new_metrics[ns] = flat_metric[idx]
+                best_prev[ns] = idx // 2
+                best_bit[ns] = idx % 2
+                if seen.all():
+                    break
+            metrics = new_metrics
+            survivors[step] = best_prev
+            survivor_bits[step] = best_bit
+
+        end_state = 0 if terminated else int(np.argmin(metrics))
+        decoded = np.zeros(n_steps, dtype=np.uint8)
+        state = end_state
+        for step in range(n_steps - 1, -1, -1):
+            decoded[step] = survivor_bits[step, state]
+            state = survivors[step, state]
+        return decoded[:n_info_bits]

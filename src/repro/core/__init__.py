@@ -1,0 +1,35 @@
+"""Core of the reproduction: the 4x4 MIMO-OFDM baseband transceiver.
+
+This package ties the substrates together into the system the paper
+describes: :class:`~repro.core.transmitter.MimoTransmitter` (Fig. 1),
+:class:`~repro.core.receiver.MimoReceiver` (Fig. 5) and
+:class:`~repro.core.transceiver.MimoTransceiver` / :func:`simulate_link` for
+end-to-end link simulation, plus the throughput model behind the 1 Gbps
+claim.
+"""
+
+from repro.core.config import OfdmNumerology, TransceiverConfig
+from repro.core.frame import ReceiveResult, StreamDecodeResult, TransmitBurst
+from repro.core.pilots import PilotProcessor
+from repro.core.preamble import PreambleGenerator
+from repro.core.receiver import MimoReceiver
+from repro.core.throughput import throughput_for_config, throughput_report
+from repro.core.transceiver import LinkSimulationResult, MimoTransceiver, simulate_link
+from repro.core.transmitter import MimoTransmitter
+
+__all__ = [
+    "OfdmNumerology",
+    "TransceiverConfig",
+    "TransmitBurst",
+    "ReceiveResult",
+    "StreamDecodeResult",
+    "PilotProcessor",
+    "PreambleGenerator",
+    "MimoTransmitter",
+    "MimoReceiver",
+    "MimoTransceiver",
+    "LinkSimulationResult",
+    "simulate_link",
+    "throughput_for_config",
+    "throughput_report",
+]

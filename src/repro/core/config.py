@@ -1,0 +1,214 @@
+"""Transceiver configuration and OFDM numerology.
+
+The paper's evaluated build is a 4x4 system with 64-point OFDM, 16-QAM and a
+rate-1/2 convolutional code, clocked at 100 MHz; Section V also discusses a
+512-point variant and the abstract's 1 Gbps point uses 64-QAM with a higher
+code rate.  :class:`TransceiverConfig` captures all of those knobs;
+:class:`OfdmNumerology` derives the subcarrier allocation (data, pilot,
+guard) from the FFT length, reproducing the 802.11a allocation exactly at 64
+points and scaling it proportionally for other transform lengths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.coding.convolutional import CodeRate
+from repro.exceptions import ConfigurationError
+from repro.modulation.constellations import Modulation
+
+#: 802.11a pilot subcarriers (logical indices, 64-point OFDM).
+_IEEE80211A_PILOTS = (-21, -7, 7, 21)
+
+
+def _logical_to_fft_bin(logical_index: int, fft_size: int) -> int:
+    """Map a logical subcarrier index (negative = below DC) to an FFT bin."""
+    if logical_index == 0:
+        return 0
+    if logical_index > 0:
+        return logical_index
+    return fft_size + logical_index
+
+
+@dataclass(frozen=True)
+class OfdmNumerology:
+    """Subcarrier allocation for one OFDM symbol.
+
+    Attributes
+    ----------
+    fft_size:
+        Transform length.
+    data_bins:
+        FFT bin indices carrying data symbols (in the order the symbol
+        mapper fills them: lowest logical subcarrier first).
+    pilot_bins:
+        FFT bin indices carrying pilot tones.
+    pilot_logical:
+        Logical indices of the pilots (used for the timing-correction slope).
+    pilot_values:
+        Base pilot values (before the per-symbol polarity is applied).
+    """
+
+    fft_size: int
+    data_bins: Tuple[int, ...]
+    pilot_bins: Tuple[int, ...]
+    pilot_logical: Tuple[int, ...]
+    pilot_values: Tuple[complex, ...]
+
+    @property
+    def n_data_subcarriers(self) -> int:
+        """Number of data-bearing subcarriers."""
+        return len(self.data_bins)
+
+    @property
+    def n_pilots(self) -> int:
+        """Number of pilot subcarriers."""
+        return len(self.pilot_bins)
+
+    @property
+    def active_bins(self) -> Tuple[int, ...]:
+        """All occupied bins (data + pilots)."""
+        return tuple(sorted(set(self.data_bins) | set(self.pilot_bins)))
+
+    def active_mask(self) -> np.ndarray:
+        """Boolean mask over FFT bins of the occupied subcarriers."""
+        mask = np.zeros(self.fft_size, dtype=bool)
+        mask[list(self.active_bins)] = True
+        return mask
+
+    @classmethod
+    def for_fft_size(cls, fft_size: int) -> "OfdmNumerology":
+        """Build the allocation for ``fft_size``.
+
+        64-point OFDM reproduces the 802.11a allocation (48 data + 4 pilot
+        subcarriers on logical indices -26..26); larger power-of-two lengths
+        scale the occupied band and pilot count proportionally (e.g. the
+        512-point variant discussed in Section V carries 384 data and 32
+        pilot subcarriers), keeping the ~81 % occupancy the paper's "eight
+        times as many" scaling argument assumes and keeping the coded bits
+        per symbol a multiple of 16 as the interleaver requires.
+        """
+        if fft_size < 64 or fft_size & (fft_size - 1):
+            raise ConfigurationError("fft_size must be a power of two >= 64")
+        scale = fft_size // 64
+        half_active = 26 * scale
+        if fft_size == 64:
+            pilot_logical = _IEEE80211A_PILOTS
+        else:
+            # 2*scale pilots per side, evenly spread across the active band.
+            positive = tuple(
+                int(round(13.0 * (2 * i + 1) / 2.0)) for i in range(2 * scale)
+            )
+            pilot_logical = tuple(-p for p in positive) + positive
+        pilot_logical = tuple(sorted(pilot_logical))
+        logical_active = [
+            k for k in range(-half_active, half_active + 1) if k != 0
+        ]
+        data_logical = [k for k in logical_active if k not in pilot_logical]
+        data_bins = tuple(_logical_to_fft_bin(k, fft_size) for k in data_logical)
+        pilot_bins = tuple(_logical_to_fft_bin(k, fft_size) for k in pilot_logical)
+        # 802.11a pilot polarities: +1 on the three lower pilots, -1 on +21.
+        pilot_values = tuple(
+            complex(-1.0, 0.0) if k == max(pilot_logical) else complex(1.0, 0.0)
+            for k in pilot_logical
+        )
+        return cls(
+            fft_size=fft_size,
+            data_bins=data_bins,
+            pilot_bins=pilot_bins,
+            pilot_logical=pilot_logical,
+            pilot_values=pilot_values,
+        )
+
+
+@dataclass(frozen=True)
+class TransceiverConfig:
+    """Complete configuration of the MIMO-OFDM transceiver.
+
+    The defaults are the paper's synthesised configuration (4x4, 16-QAM,
+    64-point OFDM, rate-1/2 coding, 25 % cyclic prefix, 100 MHz clock).
+    ``gigabit()`` returns the configuration behind the 1 Gbps headline
+    (64-QAM, rate 3/4).
+
+    ``correct_cfo`` enables the preamble-based carrier-frequency-offset
+    estimator (an extension beyond the paper, which relies on pilot phase
+    correction alone); see :mod:`repro.sync.cfo`.
+    """
+
+    n_antennas: int = 4
+    fft_size: int = 64
+    cyclic_prefix_ratio: float = 0.25
+    modulation: Modulation = Modulation.QAM16
+    code_rate: CodeRate = CodeRate.RATE_1_2
+    clock_hz: float = 100e6
+    soft_decision: bool = False
+    use_cordic_channel_inversion: bool = False
+    scramble: bool = True
+    correct_cfo: bool = False
+
+    def __post_init__(self) -> None:
+        if self.n_antennas <= 0:
+            raise ConfigurationError("n_antennas must be positive")
+        if self.fft_size < 16 or self.fft_size & (self.fft_size - 1):
+            raise ConfigurationError("fft_size must be a power of two >= 16")
+        if not 0 <= self.cyclic_prefix_ratio < 1:
+            raise ConfigurationError("cyclic_prefix_ratio must be in [0, 1)")
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        # Normalise enum-ish fields so strings are accepted.
+        object.__setattr__(self, "modulation", Modulation.from_any(self.modulation))
+        object.__setattr__(self, "code_rate", CodeRate(self.code_rate))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_default(cls) -> "TransceiverConfig":
+        """The configuration synthesised in Tables 1-4 (16-QAM, rate 1/2)."""
+        return cls()
+
+    @classmethod
+    def gigabit(cls) -> "TransceiverConfig":
+        """The configuration achieving the 1 Gbps headline (64-QAM, rate 3/4)."""
+        return cls(modulation=Modulation.QAM64, code_rate=CodeRate.RATE_3_4)
+
+    # ------------------------------------------------------------------
+    @property
+    def numerology(self) -> OfdmNumerology:
+        """Subcarrier allocation derived from the FFT length."""
+        return OfdmNumerology.for_fft_size(self.fft_size)
+
+    @property
+    def cyclic_prefix_length(self) -> int:
+        """Cyclic-prefix samples per OFDM symbol (25 % of the FFT length)."""
+        return int(self.fft_size * self.cyclic_prefix_ratio)
+
+    @property
+    def samples_per_symbol(self) -> int:
+        """Time-domain samples per OFDM symbol including the cyclic prefix."""
+        return self.fft_size + self.cyclic_prefix_length
+
+    @property
+    def bits_per_subcarrier(self) -> int:
+        """Coded bits per data subcarrier."""
+        return self.modulation.bits_per_symbol
+
+    @property
+    def coded_bits_per_symbol(self) -> int:
+        """Coded bits per OFDM symbol per spatial stream (N_CBPS)."""
+        return self.numerology.n_data_subcarriers * self.bits_per_subcarrier
+
+    @property
+    def data_bits_per_symbol(self) -> int:
+        """Information bits per OFDM symbol per spatial stream (N_DBPS)."""
+        return int(round(self.coded_bits_per_symbol * self.code_rate.fraction))
+
+    @property
+    def n_streams(self) -> int:
+        """Number of independent spatial streams (equal to antennas here)."""
+        return self.n_antennas
+
+    def symbol_duration_s(self) -> float:
+        """Duration of one OFDM symbol at the configured clock."""
+        return self.samples_per_symbol / self.clock_hz

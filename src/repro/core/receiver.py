@@ -1,0 +1,284 @@
+"""4x4 MIMO-OFDM receiver (Fig. 5).
+
+The receive datapath is: time synchronisation (sliding-window correlation
+against the stored STS/LTS transition), per-antenna FFT of the staggered LTS
+slots, per-subcarrier channel estimation and QRD-based matrix inversion,
+zero-forcing MIMO detection of every data OFDM symbol, pilot phase and
+feed-forward timing correction, symbol demapping (hard or soft), block
+de-interleaving, Viterbi decoding and descrambling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.convolutional import ConvolutionalCode, ConvolutionalEncoder
+from repro.coding.interleaver import deinterleave
+from repro.coding.scrambler import Scrambler
+from repro.coding.viterbi import ViterbiDecoder
+from repro.core.config import TransceiverConfig
+from repro.core.frame import ReceiveResult, StreamDecodeResult
+from repro.core.pilots import PilotProcessor
+from repro.core.preamble import PreambleGenerator
+from repro.dsp.fft import fft
+from repro.exceptions import ConfigurationError, DecodingError
+from repro.mimo.channel_estimation import ChannelEstimate, ChannelEstimator
+from repro.mimo.detector import zf_detect
+from repro.modulation.demapper import SymbolDemapper
+from repro.sync.cfo import CfoEstimator
+from repro.sync.time_sync import TimeSynchronizer
+
+
+class MimoReceiver:
+    """MIMO-OFDM burst receiver.
+
+    Parameters
+    ----------
+    config:
+        Transceiver configuration (must match the transmitter's).
+    sync_mode:
+        ``"peak"`` (robust, default) or ``"threshold"`` (hardware behaviour)
+        for the time synchroniser.
+    timing_advance:
+        Samples by which every FFT window (LTS and data) is advanced into
+        the cyclic prefix.  Because the same advance is applied to the
+        channel-estimation windows and the data windows, the resulting phase
+        ramp cancels in equalisation; the advance simply moves any
+        late-timing error of the synchroniser into the cyclic prefix instead
+        of into the next symbol.
+    """
+
+    def __init__(
+        self,
+        config: Optional[TransceiverConfig] = None,
+        sync_mode: str = "peak",
+        timing_advance: int = 2,
+    ) -> None:
+        self.config = config if config is not None else TransceiverConfig()
+        if timing_advance < 0 or timing_advance > self.config.cyclic_prefix_length:
+            raise ConfigurationError(
+                "timing_advance must lie within the cyclic prefix"
+            )
+        self.timing_advance = timing_advance
+        self.numerology = self.config.numerology
+        self.preamble = PreambleGenerator(self.config.fft_size)
+        self.pilots = PilotProcessor(self.numerology)
+        self.demapper = SymbolDemapper(self.config.modulation)
+        self.code = ConvolutionalCode.ieee80211a(self.config.code_rate)
+        self._encoder = ConvolutionalEncoder(self.code)
+        decision = "soft" if self.config.soft_decision else "hard"
+        self.viterbi = ViterbiDecoder(self.code, decision=decision)
+        self._scrambler = Scrambler()
+        self.synchronizer = TimeSynchronizer(
+            sts_time=self.preamble.sts_time(),
+            lts_time=self.preamble.lts_time(),
+            mode=sync_mode,
+        )
+        self.cfo_estimator = (
+            CfoEstimator(self.config.fft_size) if self.config.correct_cfo else None
+        )
+        self.channel_estimator = ChannelEstimator(
+            reference_lts=self.preamble.lts_frequency,
+            use_cordic=self.config.use_cordic_channel_inversion,
+        )
+
+    # ------------------------------------------------------------------
+    # synchronisation and channel estimation
+    # ------------------------------------------------------------------
+    def synchronize(self, samples: np.ndarray) -> int:
+        """Locate the LTS start across all receive antennas.
+
+        Every antenna's stream is searched; the antenna with the strongest
+        correlation peak wins (the STS is transmitted from antenna 0 only,
+        so different receive antennas see it with different channel gains).
+        """
+        streams = np.asarray(samples, dtype=np.complex128)
+        if streams.ndim != 2:
+            raise ConfigurationError("samples must have shape (n_rx, n_samples)")
+        best_start = None
+        best_peak = -1.0
+        for antenna in range(streams.shape[0]):
+            result = self.synchronizer.search(streams[antenna])
+            if result.peak_magnitude > best_peak:
+                best_peak = result.peak_magnitude
+                best_start = result.lts_start
+        assert best_start is not None
+        return int(best_start)
+
+    def estimate_channel(
+        self, samples: np.ndarray, lts_start: int
+    ) -> ChannelEstimate:
+        """Estimate the channel from the staggered LTS slots of a burst."""
+        streams = np.asarray(samples, dtype=np.complex128)
+        n_rx = streams.shape[0]
+        n_tx = self.config.n_antennas
+        fft_size = self.config.fft_size
+        layout = self.preamble.layout(n_tx)
+        lts_cp = self.preamble.lts_cp_length
+
+        received_lts = np.zeros((n_tx, n_rx, fft_size), dtype=np.complex128)
+        for slot in range(n_tx):
+            slot_start = (
+                lts_start + slot * layout.lts_slot_length + lts_cp - self.timing_advance
+            )
+            slot_start = max(slot_start, 0)
+            first_end = slot_start + fft_size
+            second_end = first_end + fft_size
+            if second_end > streams.shape[1]:
+                raise DecodingError("burst too short to contain the full LTS preamble")
+            for rx in range(n_rx):
+                first = fft(streams[rx, slot_start:first_end])
+                second = fft(streams[rx, first_end:second_end])
+                # Averaged with an adder and right shift in hardware.
+                received_lts[slot, rx] = (first + second) / 2.0
+        return self.channel_estimator.estimate(received_lts)
+
+    # ------------------------------------------------------------------
+    # per-stream decoding
+    # ------------------------------------------------------------------
+    def _decode_stream(
+        self,
+        equalized_symbols: np.ndarray,
+        n_info_bits: int,
+        noise_variance: float,
+    ) -> np.ndarray:
+        """Demap, de-interleave, Viterbi-decode and descramble one stream.
+
+        ``equalized_symbols`` has shape ``(n_symbols, n_data_subcarriers)``.
+        """
+        n_cbps = self.config.coded_bits_per_symbol
+        n_bpsc = self.config.bits_per_subcarrier
+        values: List[np.ndarray] = []
+        for n in range(equalized_symbols.shape[0]):
+            demapped = self.demapper.demap(
+                equalized_symbols[n],
+                soft=self.config.soft_decision,
+                noise_variance=noise_variance,
+            )
+            values.append(deinterleave(demapped, n_cbps, n_bpsc))
+        received = np.concatenate(values) if values else np.zeros(0)
+
+        coded_length = self._encoder.coded_length(n_info_bits, terminate=True)
+        if received.size < coded_length:
+            raise DecodingError(
+                "recovered coded stream shorter than the expected code block"
+            )
+        decoded = self.viterbi.decode(
+            received[:coded_length], n_info_bits=n_info_bits, terminated=True
+        )
+        if self.config.scramble:
+            decoded = self._scrambler.process(decoded, reset=True)
+        return decoded
+
+    # ------------------------------------------------------------------
+    # full burst reception
+    # ------------------------------------------------------------------
+    def receive(
+        self,
+        samples: np.ndarray,
+        n_info_bits: int,
+        lts_start: Optional[int] = None,
+        noise_variance: float = 1.0,
+        reference_bits: Optional[Sequence[np.ndarray]] = None,
+    ) -> ReceiveResult:
+        """Decode one burst.
+
+        Parameters
+        ----------
+        samples:
+            Received baseband samples, shape ``(n_rx, n_samples)``.
+        n_info_bits:
+            Information bits carried by each spatial stream (in a real system
+            this is conveyed by a SIGNAL field; here it is a parameter).
+        lts_start:
+            Skip time synchronisation and use this LTS start index instead
+            (useful for isolating other blocks in tests).
+        noise_variance:
+            Noise variance used to scale soft-decision LLRs.
+        reference_bits:
+            When provided, per-stream BER is computed and attached to the
+            result.
+        """
+        streams = np.asarray(samples, dtype=np.complex128)
+        if streams.ndim != 2 or streams.shape[0] != self.config.n_antennas:
+            raise ConfigurationError(
+                f"samples must have shape ({self.config.n_antennas}, n_samples)"
+            )
+        if n_info_bits <= 0:
+            raise ConfigurationError("n_info_bits must be positive")
+
+        if lts_start is None:
+            lts_start = self.synchronize(streams)
+
+        estimated_cfo = 0.0
+        if self.cfo_estimator is not None:
+            cfo = self.cfo_estimator.estimate(streams, lts_start)
+            streams = self.cfo_estimator.correct(streams, cfo)
+            estimated_cfo = cfo.combined
+
+        estimate = self.estimate_channel(streams, lts_start)
+
+        n_tx = self.config.n_antennas
+        layout = self.preamble.layout(n_tx)
+        data_start = lts_start + n_tx * layout.lts_slot_length
+        coded_length = self._encoder.coded_length(n_info_bits, terminate=True)
+        n_cbps = self.config.coded_bits_per_symbol
+        n_symbols = -(-coded_length // n_cbps)
+        sps = self.config.samples_per_symbol
+        cp = self.config.cyclic_prefix_length
+        fft_size = self.config.fft_size
+        if data_start + n_symbols * sps > streams.shape[1]:
+            raise DecodingError("burst too short for the requested number of OFDM symbols")
+
+        data_bins = list(self.numerology.data_bins)
+        equalized = np.zeros(
+            (n_tx, n_symbols, len(data_bins)), dtype=np.complex128
+        )
+        pilot_phases = []
+        for n in range(n_symbols):
+            start = max(data_start + n * sps + cp - self.timing_advance, 0)
+            block = streams[:, start : start + fft_size]
+            frequency = fft(block)
+            detected = zf_detect(frequency, estimate.inverses)
+            for stream in range(n_tx):
+                corrected, diag = self.pilots.correct(detected[stream], n)
+                pilot_phases.append(diag.common_phase)
+                equalized[stream, n] = corrected[data_bins]
+
+        results: List[StreamDecodeResult] = []
+        for stream in range(n_tx):
+            decoded = self._decode_stream(
+                equalized[stream], n_info_bits, noise_variance
+            )
+            bit_errors = None
+            ber = None
+            if reference_bits is not None:
+                ref = np.asarray(reference_bits[stream], dtype=np.uint8)
+                if ref.size != decoded.size:
+                    raise ValueError("reference bits length mismatch")
+                bit_errors = int(np.count_nonzero(ref != decoded))
+                ber = bit_errors / ref.size
+            results.append(
+                StreamDecodeResult(
+                    stream=stream,
+                    decoded_bits=decoded,
+                    equalized_symbols=equalized[stream],
+                    bit_errors=bit_errors,
+                    bit_error_rate=ber,
+                )
+            )
+
+        diagnostics = {
+            "lts_start": float(lts_start),
+            "n_ofdm_symbols": float(n_symbols),
+            "mean_pilot_phase": float(np.mean(pilot_phases)) if pilot_phases else 0.0,
+            "estimated_cfo": estimated_cfo,
+        }
+        return ReceiveResult(
+            streams=results,
+            lts_start=int(lts_start),
+            channel_estimate=estimate,
+            diagnostics=diagnostics,
+        )

@@ -1,0 +1,209 @@
+"""4x4 MIMO-OFDM transmitter (Fig. 1).
+
+The transmit datapath per spatial stream is: (scramble) -> convolutional
+encoder -> block interleaver -> LUT symbol mapper -> pilot insertion -> IFFT
+-> cyclic prefix.  The burst control path prepends the staggered MIMO
+preamble (STS from antenna 0 only, one LTS slot per antenna) before the data
+OFDM symbols, exactly as Fig. 2 requires for receiver-side channel
+estimation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.coding.convolutional import ConvolutionalCode, ConvolutionalEncoder
+from repro.coding.interleaver import interleave
+from repro.coding.scrambler import Scrambler
+from repro.core.config import TransceiverConfig
+from repro.core.frame import TransmitBurst
+from repro.core.pilots import PilotProcessor
+from repro.core.preamble import PreambleGenerator
+from repro.dsp.fft import ofdm_modulate
+from repro.exceptions import ConfigurationError
+from repro.modulation.mapper import SymbolMapper
+from repro.utils.bits import _as_bit_array
+
+
+class MimoTransmitter:
+    """MIMO-OFDM burst transmitter.
+
+    Parameters
+    ----------
+    config:
+        Transceiver configuration; defaults to the paper's synthesised
+        configuration (4x4, 16-QAM, 64-point OFDM, rate 1/2).
+    """
+
+    def __init__(self, config: Optional[TransceiverConfig] = None) -> None:
+        self.config = config if config is not None else TransceiverConfig()
+        self.numerology = self.config.numerology
+        self.preamble = PreambleGenerator(self.config.fft_size)
+        self.pilots = PilotProcessor(self.numerology)
+        self.mapper = SymbolMapper(self.config.modulation)
+        self.code = ConvolutionalCode.ieee80211a(self.config.code_rate)
+        self._encoder = ConvolutionalEncoder(self.code)
+        self._scrambler = Scrambler()
+
+    # ------------------------------------------------------------------
+    # sizing helpers
+    # ------------------------------------------------------------------
+    def coded_length(self, n_info_bits: int) -> int:
+        """Coded bits produced for ``n_info_bits`` information bits (with tail)."""
+        return self._encoder.coded_length(n_info_bits, terminate=True)
+
+    def symbols_for_info_bits(self, n_info_bits: int) -> int:
+        """Number of OFDM symbols needed to carry ``n_info_bits`` per stream."""
+        if n_info_bits <= 0:
+            raise ConfigurationError("n_info_bits must be positive")
+        coded = self.coded_length(n_info_bits)
+        n_cbps = self.config.coded_bits_per_symbol
+        return -(-coded // n_cbps)
+
+    def max_info_bits(self, n_ofdm_symbols: int) -> int:
+        """Largest number of information bits that fit in ``n_ofdm_symbols``."""
+        if n_ofdm_symbols <= 0:
+            raise ConfigurationError("n_ofdm_symbols must be positive")
+        capacity = n_ofdm_symbols * self.config.coded_bits_per_symbol
+        rate = self.config.code_rate.fraction
+        # Invert coded_length: coded = ceil((info + tail)/rate); search down
+        # from the continuous estimate to stay within capacity.
+        estimate = int(capacity * rate) - self.code.memory
+        while estimate > 0 and self.coded_length(estimate) > capacity:
+            estimate -= 1
+        if estimate <= 0:
+            raise ConfigurationError("burst too short to carry any information bits")
+        return estimate
+
+    # ------------------------------------------------------------------
+    # per-stream datapath
+    # ------------------------------------------------------------------
+    def _encode_stream(self, bits: np.ndarray) -> tuple[np.ndarray, int]:
+        """Scramble + encode + pad one stream; returns (padded coded bits, n_symbols)."""
+        info = _as_bit_array(bits)
+        if self.config.scramble:
+            info = self._scrambler.process(info, reset=True)
+        coded = self._encoder.encode(info, terminate=True, reset=True)
+        n_cbps = self.config.coded_bits_per_symbol
+        n_symbols = -(-coded.size // n_cbps)
+        padded = np.zeros(n_symbols * n_cbps, dtype=np.uint8)
+        padded[: coded.size] = coded
+        return padded, n_symbols
+
+    def _map_stream(self, coded_bits: np.ndarray, n_symbols: int) -> np.ndarray:
+        """Interleave and map one stream; returns frequency-domain symbols.
+
+        Output shape is ``(n_symbols, fft_size)`` with pilots inserted.
+        """
+        n_cbps = self.config.coded_bits_per_symbol
+        n_bpsc = self.config.bits_per_subcarrier
+        fft_size = self.config.fft_size
+        data_bins = list(self.numerology.data_bins)
+        symbols = np.zeros((n_symbols, fft_size), dtype=np.complex128)
+        for n in range(n_symbols):
+            block = coded_bits[n * n_cbps : (n + 1) * n_cbps]
+            interleaved = interleave(block, n_cbps, n_bpsc)
+            constellation_points = self.mapper.map_bits(interleaved)
+            frequency = np.zeros(fft_size, dtype=np.complex128)
+            frequency[data_bins] = constellation_points
+            symbols[n] = self.pilots.insert(frequency, n)
+        return symbols
+
+    def _modulate_stream(self, frequency_symbols: np.ndarray) -> np.ndarray:
+        """IFFT + cyclic prefix for every OFDM symbol of one stream."""
+        cp = self.config.cyclic_prefix_length
+        waveform = [
+            ofdm_modulate(frequency_symbols[n], cp)
+            for n in range(frequency_symbols.shape[0])
+        ]
+        if not waveform:
+            return np.zeros(0, dtype=np.complex128)
+        return np.concatenate(waveform)
+
+    # ------------------------------------------------------------------
+    # burst assembly
+    # ------------------------------------------------------------------
+    def transmit(self, stream_bits: Sequence[np.ndarray]) -> TransmitBurst:
+        """Build a complete burst from per-stream information bits.
+
+        Parameters
+        ----------
+        stream_bits:
+            One bit array per spatial stream (``n_antennas`` arrays).  All
+            streams are padded to the same number of OFDM symbols.
+
+        Returns
+        -------
+        :class:`~repro.core.frame.TransmitBurst` with per-antenna samples.
+        """
+        n_streams = self.config.n_streams
+        if len(stream_bits) != n_streams:
+            raise ConfigurationError(
+                f"expected {n_streams} bit streams, got {len(stream_bits)}"
+            )
+        info_bits = [_as_bit_array(bits) for bits in stream_bits]
+        for bits in info_bits:
+            if bits.size == 0:
+                raise ConfigurationError("every stream must carry at least one bit")
+
+        encoded: List[np.ndarray] = []
+        symbol_counts: List[int] = []
+        for bits in info_bits:
+            coded, n_symbols = self._encode_stream(bits)
+            encoded.append(coded)
+            symbol_counts.append(n_symbols)
+
+        n_symbols = max(symbol_counts)
+        n_cbps = self.config.coded_bits_per_symbol
+        padded = []
+        for coded in encoded:
+            full = np.zeros(n_symbols * n_cbps, dtype=np.uint8)
+            full[: coded.size] = coded
+            padded.append(full)
+
+        frequency_symbols = np.zeros(
+            (n_streams, n_symbols, self.config.fft_size), dtype=np.complex128
+        )
+        for stream in range(n_streams):
+            frequency_symbols[stream] = self._map_stream(padded[stream], n_symbols)
+
+        preamble_waveform = self.preamble.mimo_preamble(n_streams)
+        layout = self.preamble.layout(n_streams)
+        data_length = n_symbols * self.config.samples_per_symbol
+        # A short idle tail (one cyclic-prefix length of zeros) ends the
+        # burst; it models the transmitter returning to idle and gives the
+        # receiver timing margin when the synchroniser locks a sample or two
+        # late on dispersive channels.
+        tail_length = self.config.cyclic_prefix_length
+        burst = np.zeros(
+            (n_streams, layout.total_length + data_length + tail_length),
+            dtype=np.complex128,
+        )
+        burst[:, : layout.total_length] = preamble_waveform
+        for stream in range(n_streams):
+            burst[stream, layout.total_length : layout.total_length + data_length] = (
+                self._modulate_stream(frequency_symbols[stream])
+            )
+
+        return TransmitBurst(
+            samples=burst,
+            info_bits=info_bits,
+            coded_bits=padded,
+            n_ofdm_symbols=n_symbols,
+            layout=layout,
+            config=self.config,
+            frequency_symbols=frequency_symbols,
+        )
+
+    def transmit_random(
+        self, n_info_bits: int, rng: Optional[np.random.Generator] = None
+    ) -> TransmitBurst:
+        """Convenience: transmit ``n_info_bits`` random bits on every stream."""
+        generator = rng if rng is not None else np.random.default_rng()
+        streams = [
+            generator.integers(0, 2, size=n_info_bits, dtype=np.uint8)
+            for _ in range(self.config.n_streams)
+        ]
+        return self.transmit(streams)

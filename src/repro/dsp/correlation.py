@@ -1,0 +1,78 @@
+"""Sliding-window correlators.
+
+The time synchroniser (Fig. 4) correlates the incoming sample stream against
+32 pre-stored complex-conjugate preamble samples: every clock cycle a sliding
+window of 32 consecutive samples is multiplied with the stored values and
+summed, requiring 32 parallel complex multipliers (128 real 18-bit
+multipliers) in hardware.  :class:`SlidingWindowCorrelator` is the software
+model of that structure; :func:`cross_correlate` is the batch equivalent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List
+
+import numpy as np
+
+
+def cross_correlate(samples: np.ndarray, reference: np.ndarray) -> np.ndarray:
+    """Correlate ``samples`` against ``reference`` with a sliding window.
+
+    Output index ``k`` is ``sum_i samples[k + i] * reference[i]`` — the same
+    sum the hardware produces when the window is aligned so its *oldest*
+    sample is ``samples[k]``.  The output has
+    ``len(samples) - len(reference) + 1`` entries.
+    """
+    x = np.asarray(samples, dtype=np.complex128).ravel()
+    ref = np.asarray(reference, dtype=np.complex128).ravel()
+    if ref.size == 0:
+        raise ValueError("reference must not be empty")
+    if x.size < ref.size:
+        raise ValueError("sample stream shorter than the reference window")
+    # np.correlate with mode="valid" computes sum x[k+i] * conj(ref[i]); the
+    # hardware stores the conjugates explicitly, so we pass conj(ref) to undo
+    # numpy's implicit conjugation and keep the same convention as the RTL.
+    return np.correlate(x, np.conj(ref), mode="valid")
+
+
+class SlidingWindowCorrelator:
+    """Streaming correlator with a shift-register window.
+
+    Mirrors the hardware structure: a 32-stage shift register, one complex
+    multiplier per tap and a pipelined adder tree.  ``push`` accepts one
+    sample per "clock cycle" and returns the correlation value once the
+    window is full (``None`` before that, modelling pipeline fill).
+    """
+
+    def __init__(self, reference: np.ndarray) -> None:
+        ref = np.asarray(reference, dtype=np.complex128).ravel()
+        if ref.size == 0:
+            raise ValueError("reference must not be empty")
+        self.reference = ref
+        self.window_length = ref.size
+        self._window: Deque[complex] = deque(maxlen=ref.size)
+        self.multiplier_count = ref.size
+        #: Real multipliers needed in hardware (4 per complex multiply).
+        self.real_multiplier_count = 4 * ref.size
+
+    def reset(self) -> None:
+        """Clear the shift register."""
+        self._window.clear()
+
+    def push(self, sample: complex) -> complex | None:
+        """Shift one sample in; return the correlation once the window is full."""
+        self._window.append(complex(sample))
+        if len(self._window) < self.window_length:
+            return None
+        window = np.array(self._window, dtype=np.complex128)
+        return complex(np.dot(window, self.reference))
+
+    def process(self, samples: Iterable[complex]) -> List[complex]:
+        """Push a whole sample stream and collect the valid correlator outputs."""
+        outputs: List[complex] = []
+        for sample in samples:
+            value = self.push(sample)
+            if value is not None:
+                outputs.append(value)
+        return outputs

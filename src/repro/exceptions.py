@@ -1,0 +1,23 @@
+"""Exception hierarchy for the MIMO transceiver reproduction."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a transceiver or block configuration is inconsistent."""
+
+
+class SynchronizationError(ReproError):
+    """Raised when the time synchroniser cannot locate the start of a burst."""
+
+
+class ChannelEstimationError(ReproError):
+    """Raised when channel estimation fails (e.g. singular channel matrix)."""
+
+
+class DecodingError(ReproError):
+    """Raised when the receive datapath cannot decode a frame."""

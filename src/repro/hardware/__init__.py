@@ -1,0 +1,68 @@
+"""FPGA hardware substrate models.
+
+The paper's evaluation (Section V) is an FPGA synthesis report: ALUTs,
+registers, memory bits and 18-bit DSP blocks per entity, a 100 MHz clock and
+pipeline latencies.  Because we have no FPGA or vendor toolchain, this
+package provides the substitute substrate:
+
+* :mod:`repro.hardware.resources` — report dataclasses (the "synthesis
+  report" format);
+* :mod:`repro.hardware.estimator` — parametric per-entity resource models
+  calibrated to the paper's figures and scaling claims (Tables 1-4);
+* :mod:`repro.hardware.latency` — cycle-latency models (CORDIC 20 cycles,
+  QRD 440 cycles, channel-estimation latency, burst latency);
+* :mod:`repro.hardware.clock` — clocking/throughput model behind the 1 Gbps
+  claim;
+* :mod:`repro.hardware.memory` — behavioural models of the memory structures
+  the architecture relies on (ROM, dual-port RAM, FIFO, ping-pong buffer,
+  circular buffer);
+* :mod:`repro.hardware.fsm` — a small finite-state-machine base used by the
+  structural datapath models;
+* :mod:`repro.hardware.jesd204` — the JESD204A-style converter interface
+  framing model.
+"""
+
+from repro.hardware.clock import ClockDomain, ThroughputModel
+from repro.hardware.estimator import (
+    FpgaDevice,
+    PAPER_CONFIG,
+    ReceiverResourceModel,
+    ResourceModelConfig,
+    STRATIX_IV_DEVICE,
+    TransmitterResourceModel,
+    qrd_cordic_cell_count,
+)
+from repro.hardware.fsm import FiniteStateMachine
+from repro.hardware.jesd204 import Jesd204Framer
+from repro.hardware.latency import LatencyModel, ReceiverLatencyBreakdown
+from repro.hardware.memory import (
+    CircularBuffer,
+    DualPortRam,
+    Fifo,
+    PingPongBuffer,
+    Rom,
+)
+from repro.hardware.resources import ResourceReport, ResourceUsage
+
+__all__ = [
+    "ClockDomain",
+    "ThroughputModel",
+    "FpgaDevice",
+    "PAPER_CONFIG",
+    "ResourceModelConfig",
+    "STRATIX_IV_DEVICE",
+    "TransmitterResourceModel",
+    "ReceiverResourceModel",
+    "qrd_cordic_cell_count",
+    "FiniteStateMachine",
+    "Jesd204Framer",
+    "LatencyModel",
+    "ReceiverLatencyBreakdown",
+    "CircularBuffer",
+    "DualPortRam",
+    "Fifo",
+    "PingPongBuffer",
+    "Rom",
+    "ResourceReport",
+    "ResourceUsage",
+]

@@ -1,0 +1,70 @@
+"""A small finite-state-machine helper.
+
+Every datapath block in the paper has a local control FSM (the interleaver,
+cyclic-prefix buffer, preamble sequencer, channel-matrix scheduler, ...).
+:class:`FiniteStateMachine` gives the structural models a shared, explicit
+representation of those controllers with transition validation and a state
+history for testing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+
+class FiniteStateMachine:
+    """Explicit-transition FSM with history.
+
+    Parameters
+    ----------
+    states:
+        All legal state names.
+    initial:
+        The reset state.
+    transitions:
+        Mapping ``(state, event) -> next_state``.  Events are arbitrary
+        strings (e.g. ``"block_full"``, ``"start_of_frame"``).
+    """
+
+    def __init__(
+        self,
+        states: Iterable[str],
+        initial: str,
+        transitions: Dict[Tuple[str, str], str],
+    ) -> None:
+        self.states: Set[str] = set(states)
+        if initial not in self.states:
+            raise ValueError(f"initial state {initial!r} not in state set")
+        for (src, _event), dst in transitions.items():
+            if src not in self.states or dst not in self.states:
+                raise ValueError(f"transition {src!r}->{dst!r} references unknown state")
+        self.initial = initial
+        self.transitions = dict(transitions)
+        self.state = initial
+        self.history: List[str] = [initial]
+
+    def reset(self) -> None:
+        """Return to the initial state (history restarts)."""
+        self.state = self.initial
+        self.history = [self.initial]
+
+    def can_fire(self, event: str) -> bool:
+        """True when ``event`` has a defined transition from the current state."""
+        return (self.state, event) in self.transitions
+
+    def fire(self, event: str) -> str:
+        """Take the transition for ``event``; raises on undefined transitions."""
+        key = (self.state, event)
+        if key not in self.transitions:
+            raise ValueError(
+                f"no transition for event {event!r} from state {self.state!r}"
+            )
+        self.state = self.transitions[key]
+        self.history.append(self.state)
+        return self.state
+
+    def fire_if_possible(self, event: str) -> Optional[str]:
+        """Take the transition if defined, otherwise stay put and return None."""
+        if self.can_fire(event):
+            return self.fire(event)
+        return None

@@ -1,0 +1,53 @@
+"""Small complex-matrix helpers shared by the MIMO processing blocks."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def hermitian(matrix: np.ndarray) -> np.ndarray:
+    """Conjugate transpose."""
+    return np.conj(np.asarray(matrix)).T
+
+
+def is_upper_triangular(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
+    """True when everything below the main diagonal is (numerically) zero."""
+    m = np.asarray(matrix)
+    if m.ndim != 2 or m.shape[0] != m.shape[1]:
+        raise ValueError("expected a square matrix")
+    lower = np.tril(m, k=-1)
+    return bool(np.all(np.abs(lower) <= tolerance))
+
+
+def is_unitary(matrix: np.ndarray, tolerance: float = 1e-8) -> bool:
+    """True when ``Q^H Q`` is (numerically) the identity."""
+    q = np.asarray(matrix, dtype=np.complex128)
+    if q.ndim != 2 or q.shape[0] != q.shape[1]:
+        raise ValueError("expected a square matrix")
+    identity = np.eye(q.shape[0])
+    return bool(np.allclose(hermitian(q) @ q, identity, atol=tolerance))
+
+
+def frobenius_error(a: np.ndarray, b: np.ndarray) -> float:
+    """Relative Frobenius-norm error ``||a - b|| / ||b||``."""
+    a_arr = np.asarray(a, dtype=np.complex128)
+    b_arr = np.asarray(b, dtype=np.complex128)
+    if a_arr.shape != b_arr.shape:
+        raise ValueError("matrices must have the same shape")
+    denom = np.linalg.norm(b_arr)
+    if denom == 0:
+        return float(np.linalg.norm(a_arr))
+    return float(np.linalg.norm(a_arr - b_arr) / denom)
+
+
+def matrix_inverse_via_qr(matrix: np.ndarray) -> np.ndarray:
+    """Reference matrix inverse through NumPy's QR (float baseline).
+
+    Used by the ablation benchmark that compares the paper's CORDIC/Givens
+    pipeline against a straightforward floating-point implementation.
+    """
+    h = np.asarray(matrix, dtype=np.complex128)
+    if h.ndim != 2 or h.shape[0] != h.shape[1]:
+        raise ValueError("expected a square matrix")
+    q, r = np.linalg.qr(h)
+    return np.linalg.solve(r, hermitian(q))

@@ -1,0 +1,80 @@
+"""Upper-triangular matrix inversion (the "R matrix inverse" block).
+
+The paper lists the explicit back-substitution equations its pipelined
+hardware evaluates for the 4x4 case (Section IV.B).  This module implements
+both the general back-substitution (:func:`invert_upper_triangular`) and the
+literal 4x4 equations (:func:`r_inverse_4x4_paper_equations`); tests verify
+the two agree, and the benchmark uses the general routine for arbitrary
+matrix sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ChannelEstimationError
+
+
+def invert_upper_triangular(r: np.ndarray, tolerance: float = 1e-12) -> np.ndarray:
+    """Invert an upper-triangular matrix by back substitution.
+
+    Implements the recurrence the paper's equations follow::
+
+        R^-1[i, i] = 1 / R[i, i]
+        R^-1[i, j] = -( sum_{k=i+1..j} R[i, k] * R^-1[k, j] ) / R[i, i]   (j > i)
+
+    Raises
+    ------
+    ChannelEstimationError
+        If a diagonal element is (numerically) zero, i.e. the channel matrix
+        is rank deficient and zero-forcing equalisation is impossible.
+    """
+    matrix = np.asarray(r, dtype=np.complex128)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError("expected a square matrix")
+    n = matrix.shape[0]
+    if np.any(np.abs(np.tril(matrix, k=-1)) > 1e-9 * max(1.0, np.abs(matrix).max())):
+        raise ValueError("matrix is not upper triangular")
+    diag = np.diagonal(matrix)
+    if np.any(np.abs(diag) <= tolerance):
+        raise ChannelEstimationError("upper-triangular matrix is singular")
+
+    inverse = np.zeros_like(matrix)
+    for i in range(n - 1, -1, -1):
+        inverse[i, i] = 1.0 / matrix[i, i]
+        for j in range(i + 1, n):
+            acc = 0.0 + 0.0j
+            for k in range(i + 1, j + 1):
+                acc += matrix[i, k] * inverse[k, j]
+            inverse[i, j] = -acc / matrix[i, i]
+    return inverse
+
+
+def r_inverse_4x4_paper_equations(r: np.ndarray) -> np.ndarray:
+    """The paper's explicit 4x4 R-inverse equations, transcribed literally.
+
+    The hardware evaluates these with a heavily pipelined datapath because
+    later terms depend on earlier ones (e.g. ``R^-1(2,3)`` needs
+    ``R^-1(3,3)``).
+    """
+    matrix = np.asarray(r, dtype=np.complex128)
+    if matrix.shape != (4, 4):
+        raise ValueError("the paper's explicit equations are for 4x4 matrices")
+    diag = np.diagonal(matrix)
+    if np.any(np.abs(diag) == 0):
+        raise ChannelEstimationError("upper-triangular matrix is singular")
+
+    inv = np.zeros((4, 4), dtype=np.complex128)
+    inv[3, 3] = 1.0 / matrix[3, 3]
+    inv[2, 2] = 1.0 / matrix[2, 2]
+    inv[2, 3] = -matrix[2, 3] * inv[3, 3] / matrix[2, 2]
+    inv[1, 1] = 1.0 / matrix[1, 1]
+    inv[1, 2] = -matrix[1, 2] * inv[2, 2] / matrix[1, 1]
+    inv[1, 3] = -(matrix[1, 2] * inv[2, 3] + matrix[1, 3] * inv[3, 3]) / matrix[1, 1]
+    inv[0, 0] = 1.0 / matrix[0, 0]
+    inv[0, 1] = -matrix[0, 1] * inv[1, 1] / matrix[0, 0]
+    inv[0, 2] = -(matrix[0, 1] * inv[1, 2] + matrix[0, 2] * inv[2, 2]) / matrix[0, 0]
+    inv[0, 3] = -(
+        matrix[0, 1] * inv[1, 3] + matrix[0, 2] * inv[2, 3] + matrix[0, 3] * inv[3, 3]
+    ) / matrix[0, 0]
+    return inv

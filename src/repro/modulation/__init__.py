@@ -1,0 +1,18 @@
+"""Modulation substrate: Gray-mapped constellations, the LUT symbol mapper
+and hard/soft symbol demappers."""
+
+from repro.modulation.constellations import (
+    Constellation,
+    Modulation,
+    get_constellation,
+)
+from repro.modulation.demapper import SymbolDemapper
+from repro.modulation.mapper import SymbolMapper
+
+__all__ = [
+    "Constellation",
+    "Modulation",
+    "get_constellation",
+    "SymbolMapper",
+    "SymbolDemapper",
+]

@@ -1,0 +1,96 @@
+"""Hard and soft symbol demapper.
+
+The paper's symbol demapper is a decoder-multiplexer structure that can be
+configured for hard or soft demapping; soft outputs are carried through the
+de-interleaver to the Viterbi decoder.  The software model provides:
+
+* hard demapping — nearest constellation point, returning the bit group;
+* soft demapping — max-log-MAP per-bit log-likelihood ratios, with the
+  convention that a *positive* LLR means the coded bit is more likely ``0``
+  (the convention :class:`repro.coding.viterbi.ViterbiDecoder` expects).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.constellations import Constellation, Modulation, get_constellation
+from repro.utils.bits import unpack_bits
+
+
+class SymbolDemapper:
+    """Demap received complex symbols to hard bits or soft LLRs."""
+
+    def __init__(self, modulation: Modulation | str) -> None:
+        self.constellation: Constellation = get_constellation(modulation)
+        self._bit_table = self.constellation.bit_table()
+
+    @property
+    def modulation(self) -> Modulation:
+        """The modulation scheme in use."""
+        return self.constellation.modulation
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Coded bits produced per received symbol."""
+        return self.constellation.bits_per_symbol
+
+    # ------------------------------------------------------------------
+    def hard_decisions(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-point hard demapping, returning the coded bit stream."""
+        received = np.asarray(symbols, dtype=np.complex128).ravel()
+        distances = np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
+        addresses = np.argmin(distances, axis=1)
+        return unpack_bits(addresses, self.bits_per_symbol)
+
+    def hard_addresses(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-point hard demapping, returning LUT addresses."""
+        received = np.asarray(symbols, dtype=np.complex128).ravel()
+        distances = np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
+        return np.argmin(distances, axis=1)
+
+    # ------------------------------------------------------------------
+    def soft_decisions(
+        self, symbols: np.ndarray, noise_variance: float = 1.0
+    ) -> np.ndarray:
+        """Max-log-MAP per-bit LLRs (positive means bit more likely 0).
+
+        Parameters
+        ----------
+        symbols:
+            Received (equalised) symbols.
+        noise_variance:
+            Per-complex-dimension noise variance used to scale the LLRs.  A
+            constant scale does not change hard Viterbi decisions but keeps
+            the soft metric calibrated when different streams see different
+            noise levels.
+        """
+        if noise_variance <= 0:
+            raise ValueError("noise_variance must be positive")
+        received = np.asarray(symbols, dtype=np.complex128).ravel()
+        n_sym = received.size
+        k = self.bits_per_symbol
+        distances = np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
+        llrs = np.zeros((n_sym, k), dtype=np.float64)
+        for bit in range(k):
+            mask_zero = self._bit_table[:, bit] == 0
+            d_zero = distances[:, mask_zero].min(axis=1)
+            d_one = distances[:, ~mask_zero].min(axis=1)
+            llrs[:, bit] = (d_one - d_zero) / noise_variance
+        return llrs.ravel()
+
+    # ------------------------------------------------------------------
+    def demap(
+        self,
+        symbols: np.ndarray,
+        soft: bool = False,
+        noise_variance: float = 1.0,
+    ) -> np.ndarray:
+        """Demap symbols, selecting hard bits or soft LLRs.
+
+        This mirrors the run-time configurability of the hardware demapper
+        ("can be set up to perform hard or soft symbol demapping").
+        """
+        if soft:
+            return self.soft_decisions(symbols, noise_variance=noise_variance)
+        return self.hard_decisions(symbols)

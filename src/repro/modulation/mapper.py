@@ -1,0 +1,53 @@
+"""LUT-based symbol mapper.
+
+In the hardware, the block-interleaver output forms the address of a ROM
+whose contents are the constellation I/Q values; the dual-port nature of the
+FPGA memory lets two physical ROMs serve all four transmit channels.  The
+software mapper reproduces the same address/LUT semantics and exposes the
+ROM contents for the memory-initialisation-file workflow mentioned in Fig. 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.modulation.constellations import Constellation, Modulation, get_constellation
+from repro.utils.bits import pack_bits
+
+
+class SymbolMapper:
+    """Map interleaved coded bits onto complex constellation symbols."""
+
+    def __init__(self, modulation: Modulation | str) -> None:
+        self.constellation: Constellation = get_constellation(modulation)
+
+    @property
+    def modulation(self) -> Modulation:
+        """The modulation scheme in use."""
+        return self.constellation.modulation
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """LUT address width (coded bits per symbol)."""
+        return self.constellation.bits_per_symbol
+
+    def map_bits(self, bits: np.ndarray) -> np.ndarray:
+        """Map a coded bit stream to symbols.
+
+        The bit-stream length must be a multiple of ``bits_per_symbol``; bits
+        are consumed MSB-first per symbol, exactly as they would form the ROM
+        address in hardware.
+        """
+        addresses = pack_bits(bits, self.bits_per_symbol)
+        return self.constellation.points[addresses]
+
+    def map_addresses(self, addresses: np.ndarray) -> np.ndarray:
+        """Map pre-grouped LUT addresses directly to symbols."""
+        idx = np.asarray(addresses, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.constellation.size):
+            raise ValueError("address out of range for the constellation LUT")
+        return self.constellation.points[idx]
+
+    def lut_contents(self) -> np.ndarray:
+        """The ROM contents (I/Q per address) for memory-initialisation files."""
+        return self.constellation.points.copy()

@@ -1,0 +1,16 @@
+"""Receiver synchronisation: input buffering, burst time synchronisation and
+(as an extension beyond the paper) preamble-based CFO estimation."""
+
+from repro.hardware.memory import CircularBuffer
+from repro.sync.cfo import CfoEstimate, CfoEstimator, apply_cfo_correction, estimate_cfo_from_repetition
+from repro.sync.time_sync import SyncResult, TimeSynchronizer
+
+__all__ = [
+    "CircularBuffer",
+    "SyncResult",
+    "TimeSynchronizer",
+    "CfoEstimate",
+    "CfoEstimator",
+    "apply_cfo_correction",
+    "estimate_cfo_from_repetition",
+]

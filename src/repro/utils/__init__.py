@@ -1,0 +1,37 @@
+"""Shared utilities: bit manipulation, link-quality metrics and RNG helpers."""
+
+from repro.utils.bits import (
+    bits_to_bytes,
+    bits_to_int,
+    bytes_to_bits,
+    count_bit_errors,
+    int_to_bits,
+    pack_bits,
+    random_bits,
+    unpack_bits,
+)
+from repro.utils.metrics import (
+    bit_error_rate,
+    error_vector_magnitude,
+    packet_error_rate,
+    signal_to_noise_ratio_db,
+    symbol_error_rate,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "bits_to_bytes",
+    "bits_to_int",
+    "bytes_to_bits",
+    "count_bit_errors",
+    "int_to_bits",
+    "pack_bits",
+    "random_bits",
+    "unpack_bits",
+    "bit_error_rate",
+    "error_vector_magnitude",
+    "packet_error_rate",
+    "signal_to_noise_ratio_db",
+    "symbol_error_rate",
+    "make_rng",
+]

@@ -1,0 +1,78 @@
+"""Link-quality metrics: BER, SER, PER, EVM and SNR estimation."""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+
+from repro.utils.bits import count_bit_errors
+
+
+def bit_error_rate(
+    reference: Union[Sequence[int], np.ndarray],
+    received: Union[Sequence[int], np.ndarray],
+) -> float:
+    """Fraction of bit positions that differ between two bit streams."""
+    ref = np.asarray(reference).ravel()
+    if ref.size == 0:
+        raise ValueError("cannot compute BER of empty bit streams")
+    errors = count_bit_errors(reference, received)
+    return errors / ref.size
+
+
+def symbol_error_rate(
+    reference: Union[Sequence[int], np.ndarray],
+    received: Union[Sequence[int], np.ndarray],
+) -> float:
+    """Fraction of symbols (integers) that differ between two symbol streams."""
+    ref = np.asarray(reference).ravel()
+    rec = np.asarray(received).ravel()
+    if ref.size != rec.size:
+        raise ValueError("symbol streams must have equal length")
+    if ref.size == 0:
+        raise ValueError("cannot compute SER of empty symbol streams")
+    return float(np.count_nonzero(ref != rec)) / ref.size
+
+
+def packet_error_rate(packet_errors: Sequence[bool]) -> float:
+    """Fraction of packets flagged as erroneous."""
+    flags = np.asarray(packet_errors, dtype=bool).ravel()
+    if flags.size == 0:
+        raise ValueError("cannot compute PER with zero packets")
+    return float(np.count_nonzero(flags)) / flags.size
+
+
+def error_vector_magnitude(
+    reference_symbols: np.ndarray, received_symbols: np.ndarray
+) -> float:
+    """RMS error-vector magnitude (as a fraction of RMS reference power).
+
+    EVM is the standard constellation-quality metric for OFDM transmitters;
+    the hardware test benches in the paper validate the mapper/IFFT chain the
+    same way.
+    """
+    ref = np.asarray(reference_symbols, dtype=np.complex128).ravel()
+    rec = np.asarray(received_symbols, dtype=np.complex128).ravel()
+    if ref.size != rec.size:
+        raise ValueError("symbol arrays must have equal length")
+    if ref.size == 0:
+        raise ValueError("cannot compute EVM of empty arrays")
+    ref_power = np.mean(np.abs(ref) ** 2)
+    if ref_power == 0:
+        raise ValueError("reference symbols have zero power")
+    error_power = np.mean(np.abs(rec - ref) ** 2)
+    return float(np.sqrt(error_power / ref_power))
+
+
+def signal_to_noise_ratio_db(signal: np.ndarray, noisy: np.ndarray) -> float:
+    """Estimate the SNR in dB between a clean signal and its noisy version."""
+    clean = np.asarray(signal, dtype=np.complex128).ravel()
+    observed = np.asarray(noisy, dtype=np.complex128).ravel()
+    if clean.size != observed.size or clean.size == 0:
+        raise ValueError("signals must be non-empty and of equal length")
+    signal_power = np.mean(np.abs(clean) ** 2)
+    noise_power = np.mean(np.abs(observed - clean) ** 2)
+    if noise_power == 0:
+        return float("inf")
+    return float(10.0 * np.log10(signal_power / noise_power))

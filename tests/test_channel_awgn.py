@@ -1,0 +1,72 @@
+"""Tests for repro.channel.awgn."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn, awgn_noise, noise_variance_for_snr
+
+
+class TestNoiseVariance:
+    def test_zero_db(self):
+        assert noise_variance_for_snr(0.0, 1.0) == pytest.approx(1.0)
+
+    def test_ten_db(self):
+        assert noise_variance_for_snr(10.0, 1.0) == pytest.approx(0.1)
+
+    def test_scales_with_signal_power(self):
+        assert noise_variance_for_snr(10.0, 4.0) == pytest.approx(0.4)
+
+    def test_rejects_non_positive_power(self):
+        with pytest.raises(ValueError):
+            noise_variance_for_snr(10.0, 0.0)
+
+
+class TestAwgnNoise:
+    def test_variance_matches_request(self):
+        noise = awgn_noise(200_000, 0.25, rng=0)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.25, rel=0.02)
+
+    def test_circular_symmetry(self):
+        noise = awgn_noise(200_000, 1.0, rng=1)
+        assert np.mean(noise.real ** 2) == pytest.approx(0.5, rel=0.05)
+        assert np.mean(noise.imag ** 2) == pytest.approx(0.5, rel=0.05)
+        assert abs(np.mean(noise.real * noise.imag)) < 0.01
+
+    def test_shape(self):
+        assert awgn_noise((4, 100), 1.0, rng=2).shape == (4, 100)
+
+    def test_negative_variance_rejected(self):
+        with pytest.raises(ValueError):
+            awgn_noise(10, -1.0)
+
+
+class TestAddAwgn:
+    def test_achieved_snr(self):
+        rng = np.random.default_rng(3)
+        signal = np.exp(1j * rng.uniform(0, 2 * np.pi, 100_000))
+        noisy = add_awgn(signal, 15.0, rng=4)
+        noise_power = np.mean(np.abs(noisy - signal) ** 2)
+        achieved = 10 * np.log10(1.0 / noise_power)
+        assert achieved == pytest.approx(15.0, abs=0.2)
+
+    def test_reproducible_with_seed(self):
+        signal = np.ones(100, dtype=complex)
+        a = add_awgn(signal, 10.0, rng=5)
+        b = add_awgn(signal, 10.0, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_zero_signal_returned_unchanged(self):
+        signal = np.zeros(16, dtype=complex)
+        np.testing.assert_array_equal(add_awgn(signal, 10.0, rng=6), signal)
+
+    def test_empty_signal(self):
+        assert add_awgn(np.zeros(0, dtype=complex), 10.0).size == 0
+
+    def test_unit_power_assumption(self):
+        rng = np.random.default_rng(7)
+        signal = 0.1 * np.exp(1j * rng.uniform(0, 2 * np.pi, 50_000))
+        noisy = add_awgn(signal, 20.0, rng=8, measure_power=False)
+        noise_power = np.mean(np.abs(noisy - signal) ** 2)
+        # Noise sized for unit signal power -> variance 0.01 regardless of
+        # the actual (weaker) signal.
+        assert noise_power == pytest.approx(0.01, rel=0.05)

@@ -1,0 +1,104 @@
+"""Tests for repro.channel.fading."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import (
+    FlatRayleighChannel,
+    FrequencySelectiveChannel,
+    exponential_power_delay_profile,
+    rayleigh_matrix,
+)
+
+
+class TestRayleighMatrix:
+    def test_shape(self):
+        assert rayleigh_matrix(4, 4, rng=0).shape == (4, 4)
+        assert rayleigh_matrix(2, 3, rng=0).shape == (2, 3)
+
+    def test_unit_average_power(self):
+        rng = np.random.default_rng(1)
+        powers = [np.mean(np.abs(rayleigh_matrix(4, 4, rng)) ** 2) for _ in range(200)]
+        assert np.mean(powers) == pytest.approx(1.0, rel=0.1)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            rayleigh_matrix(0, 4)
+
+
+class TestPowerDelayProfile:
+    def test_sums_to_one(self):
+        profile = exponential_power_delay_profile(8, decay=2.0)
+        assert profile.sum() == pytest.approx(1.0)
+
+    def test_monotonically_decaying(self):
+        profile = exponential_power_delay_profile(6, decay=1.5)
+        assert np.all(np.diff(profile) < 0)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            exponential_power_delay_profile(0)
+        with pytest.raises(ValueError):
+            exponential_power_delay_profile(4, decay=0.0)
+
+
+class TestFlatRayleighChannel:
+    def test_apply_is_matrix_multiplication(self):
+        matrix = np.array([[1, 2], [3, 4]], dtype=complex)
+        channel = FlatRayleighChannel(n_rx=2, n_tx=2, matrix=matrix)
+        x = np.array([[1, 0], [0, 1]], dtype=complex)
+        np.testing.assert_allclose(channel.apply(x), matrix @ x)
+
+    def test_frequency_response_constant_across_subcarriers(self):
+        channel = FlatRayleighChannel(rng=2)
+        response = channel.frequency_response(64)
+        assert response.shape == (64, 4, 4)
+        np.testing.assert_allclose(response[0], response[63])
+
+    def test_matrix_shape_validation(self):
+        with pytest.raises(ValueError):
+            FlatRayleighChannel(n_rx=4, n_tx=4, matrix=np.eye(2))
+
+    def test_apply_shape_validation(self):
+        channel = FlatRayleighChannel(rng=3)
+        with pytest.raises(ValueError):
+            channel.apply(np.ones((3, 10), dtype=complex))
+
+
+class TestFrequencySelectiveChannel:
+    def test_frequency_response_matches_fft_of_taps(self):
+        channel = FrequencySelectiveChannel(n_rx=2, n_tx=2, n_taps=3, rng=4)
+        response = channel.frequency_response(64)
+        manual = np.fft.fft(channel.taps[1, 0], 64)
+        np.testing.assert_allclose(response[:, 1, 0], manual)
+
+    def test_single_tap_reduces_to_flat(self):
+        channel = FrequencySelectiveChannel(n_rx=4, n_tx=4, n_taps=1, rng=5)
+        response = channel.frequency_response(64)
+        np.testing.assert_allclose(response[0], response[32])
+
+    def test_apply_convolution_against_manual(self):
+        channel = FrequencySelectiveChannel(n_rx=1, n_tx=1, n_taps=4, rng=6)
+        x = np.zeros((1, 16), dtype=complex)
+        x[0, 0] = 1.0  # impulse reveals the taps
+        y = channel.apply(x)
+        np.testing.assert_allclose(y[0, :4], channel.taps[0, 0])
+
+    def test_output_shape_preserved(self):
+        channel = FrequencySelectiveChannel(rng=7)
+        x = np.random.default_rng(8).normal(size=(4, 100)) + 0j
+        assert channel.apply(x).shape == (4, 100)
+
+    def test_response_varies_across_subcarriers(self):
+        channel = FrequencySelectiveChannel(n_taps=6, rng=9)
+        response = channel.frequency_response(64)
+        assert not np.allclose(response[0], response[32])
+
+    def test_taps_shape_validation(self):
+        with pytest.raises(ValueError):
+            FrequencySelectiveChannel(n_rx=2, n_tx=2, n_taps=2, taps=np.zeros((2, 2, 3)))
+
+    def test_fft_size_must_cover_taps(self):
+        channel = FrequencySelectiveChannel(n_taps=4, rng=10)
+        with pytest.raises(ValueError):
+            channel.frequency_response(2)

@@ -1,0 +1,125 @@
+"""Tests for repro.channel.impairments and repro.channel.model."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FlatRayleighChannel
+from repro.channel.impairments import (
+    apply_carrier_frequency_offset,
+    apply_iq_imbalance,
+    apply_sample_delay,
+)
+from repro.channel.model import ChannelOutput, IdealChannel, MimoChannel
+
+
+class TestCarrierFrequencyOffset:
+    def test_zero_offset_is_identity(self):
+        x = np.ones(10, dtype=complex)
+        np.testing.assert_allclose(apply_carrier_frequency_offset(x, 0.0), x)
+
+    def test_quarter_cycle_per_sample(self):
+        x = np.ones(4, dtype=complex)
+        rotated = apply_carrier_frequency_offset(x, 0.25)
+        np.testing.assert_allclose(rotated, [1, 1j, -1, -1j], atol=1e-12)
+
+    def test_preserves_magnitude(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(4, 50)) + 1j * rng.normal(size=(4, 50))
+        rotated = apply_carrier_frequency_offset(x, 0.01)
+        np.testing.assert_allclose(np.abs(rotated), np.abs(x))
+
+    def test_start_index_continues_phase(self):
+        x = np.ones(8, dtype=complex)
+        whole = apply_carrier_frequency_offset(x, 0.1)
+        second_half = apply_carrier_frequency_offset(x[4:], 0.1, start_index=4)
+        np.testing.assert_allclose(whole[4:], second_half)
+
+
+class TestSampleDelay:
+    def test_prepends_zeros(self):
+        x = np.arange(1, 6, dtype=complex)
+        delayed = apply_sample_delay(x, 3)
+        np.testing.assert_allclose(delayed[:3], 0)
+        np.testing.assert_allclose(delayed[3:8], x)
+
+    def test_zero_delay(self):
+        x = np.arange(5, dtype=complex)
+        np.testing.assert_allclose(apply_sample_delay(x, 0), x)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            apply_sample_delay(np.ones(4, dtype=complex), -1)
+
+    def test_multi_antenna(self):
+        x = np.ones((4, 10), dtype=complex)
+        delayed = apply_sample_delay(x, 5)
+        assert delayed.shape == (4, 15)
+        np.testing.assert_allclose(delayed[:, :5], 0)
+
+
+class TestIqImbalance:
+    def test_no_imbalance_is_identity(self):
+        x = np.array([1 + 2j, -0.5 + 0.25j])
+        np.testing.assert_allclose(apply_iq_imbalance(x), x)
+
+    def test_gain_imbalance_changes_image(self):
+        x = np.exp(1j * np.linspace(0, 2 * np.pi, 64, endpoint=False))
+        distorted = apply_iq_imbalance(x, amplitude_imbalance_db=1.0, phase_imbalance_deg=2.0)
+        spectrum = np.fft.fft(distorted)
+        # Energy appears at the image frequency (bin 63) when imbalance exists.
+        assert np.abs(spectrum[63]) > 0.1
+
+
+class TestIdealChannel:
+    def test_passthrough(self):
+        channel = IdealChannel()
+        x = np.random.default_rng(1).normal(size=(4, 20)) + 0j
+        np.testing.assert_allclose(channel.apply(x), x)
+
+    def test_identity_frequency_response(self):
+        response = IdealChannel().frequency_response(64)
+        np.testing.assert_allclose(response[10], np.eye(4))
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            IdealChannel(n_rx=2, n_tx=4)
+
+
+class TestMimoChannel:
+    def test_noiseless_ideal_is_identity(self):
+        channel = MimoChannel()
+        x = np.random.default_rng(2).normal(size=(4, 30)) + 0j
+        output = channel.transmit(x)
+        assert isinstance(output, ChannelOutput)
+        np.testing.assert_allclose(output.samples, x)
+
+    def test_snr_noise_added(self):
+        channel = MimoChannel(snr_db=20.0, rng=3)
+        x = np.ones((4, 1000), dtype=complex)
+        output = channel.transmit(x)
+        assert not np.allclose(output.samples, x)
+        noise_power = np.mean(np.abs(output.samples - x) ** 2)
+        assert noise_power == pytest.approx(0.01, rel=0.2)
+
+    def test_delay_shifts_burst(self):
+        channel = MimoChannel(sample_delay=7)
+        x = np.ones((4, 10), dtype=complex)
+        output = channel.transmit(x)
+        np.testing.assert_allclose(output.samples[:, :7], 0)
+
+    def test_frequency_response_attached_when_requested(self):
+        fading = FlatRayleighChannel(rng=4)
+        channel = MimoChannel(fading)
+        output = channel.transmit(np.ones((4, 10), dtype=complex), fft_size=64)
+        assert output.true_frequency_response.shape == (64, 4, 4)
+        np.testing.assert_allclose(output.true_frequency_response[0], fading.matrix)
+
+    def test_shape_validation(self):
+        channel = MimoChannel()
+        with pytest.raises(ValueError):
+            channel.transmit(np.ones((3, 10), dtype=complex))
+
+    def test_antenna_counts_exposed(self):
+        channel = MimoChannel(FlatRayleighChannel(n_rx=4, n_tx=4, rng=5))
+        assert channel.n_rx == 4
+        assert channel.n_tx == 4

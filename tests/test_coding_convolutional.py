@@ -1,0 +1,142 @@
+"""Tests for repro.coding.convolutional."""
+
+import numpy as np
+import pytest
+
+from repro.coding.convolutional import (
+    CodeRate,
+    ConvolutionalCode,
+    ConvolutionalEncoder,
+    PUNCTURE_PATTERNS,
+)
+from repro.utils.bits import random_bits
+
+
+class TestCodeRate:
+    def test_fractions(self):
+        assert CodeRate.RATE_1_2.fraction == 0.5
+        assert CodeRate.RATE_2_3.fraction == pytest.approx(2 / 3)
+        assert CodeRate.RATE_3_4.fraction == 0.75
+
+    def test_puncture_patterns_have_matching_rates(self):
+        for rate, pattern in PUNCTURE_PATTERNS.items():
+            period = pattern.shape[1]
+            kept = pattern.sum()
+            assert period / kept == pytest.approx(rate.fraction)
+
+
+class TestCodeDefinition:
+    def test_defaults_are_80211a(self):
+        code = ConvolutionalCode.ieee80211a()
+        assert code.constraint_length == 7
+        assert code.generators == (0o133, 0o171)
+        assert code.n_states == 64
+        assert code.rate == pytest.approx(0.5)
+
+    def test_rate_property_after_puncturing(self):
+        code = ConvolutionalCode.ieee80211a(CodeRate.RATE_3_4)
+        # 3 input bits -> 4 surviving coded bits.
+        assert code.puncture_period / code.puncture_pattern.sum() == pytest.approx(0.75)
+
+    def test_invalid_constraint_length(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint_length=1, generators=(0o3, 0o1))
+
+    def test_generator_must_fit_constraint_length(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(constraint_length=3, generators=(0o7, 0o17))
+
+    def test_puncture_pattern_shape_checked(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(puncture_pattern=np.array([[1, 1]]))
+
+    def test_all_zero_puncture_rejected(self):
+        with pytest.raises(ValueError):
+            ConvolutionalCode(puncture_pattern=np.zeros((2, 2), dtype=np.uint8))
+
+    def test_trellis_tables_shapes(self):
+        code = ConvolutionalCode.ieee80211a()
+        next_states, outputs = code.build_trellis()
+        assert next_states.shape == (64, 2)
+        assert outputs.shape == (64, 2)
+        assert next_states.max() < 64
+        assert outputs.max() < 4
+
+    def test_trellis_each_state_has_two_predecessors(self):
+        code = ConvolutionalCode.ieee80211a()
+        next_states, _ = code.build_trellis()
+        counts = np.bincount(next_states.ravel(), minlength=code.n_states)
+        assert np.all(counts == 2)
+
+
+class TestEncoder:
+    def test_known_impulse_response(self):
+        # A single 1 followed by zeros produces the generator polynomials'
+        # coefficients on the two outputs.
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode([1, 0, 0, 0, 0, 0, 0], terminate=False)
+        output_a = coded[0::2]
+        output_b = coded[1::2]
+        # g0 = 133 octal = 1011011, g1 = 171 octal = 1111001 (MSB = current bit).
+        np.testing.assert_array_equal(output_a, [1, 0, 1, 1, 0, 1, 1])
+        np.testing.assert_array_equal(output_b, [1, 1, 1, 1, 0, 0, 1])
+
+    def test_rate_half_output_length(self):
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(random_bits(100, np.random.default_rng(0)), terminate=False)
+        assert coded.size == 200
+
+    def test_termination_appends_tail(self):
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(random_bits(10, np.random.default_rng(1)), terminate=True)
+        assert coded.size == 2 * (10 + 6)
+        assert encoder.state == 0
+
+    def test_punctured_lengths(self):
+        for rate, expected in [
+            (CodeRate.RATE_1_2, 240),
+            (CodeRate.RATE_2_3, 180),
+            (CodeRate.RATE_3_4, 160),
+        ]:
+            encoder = ConvolutionalEncoder(ConvolutionalCode.ieee80211a(rate))
+            coded = encoder.encode(random_bits(120, np.random.default_rng(2)), terminate=False)
+            assert coded.size == expected
+
+    def test_coded_length_helper_matches_actual(self):
+        rng = np.random.default_rng(3)
+        for rate in CodeRate:
+            encoder = ConvolutionalEncoder(ConvolutionalCode.ieee80211a(rate))
+            for n in (1, 7, 53, 100):
+                coded = encoder.encode(random_bits(n, rng), terminate=True)
+                assert coded.size == encoder.coded_length(n, terminate=True)
+
+    def test_linearity_of_code(self):
+        # Convolutional codes are linear: enc(a xor b) == enc(a) xor enc(b).
+        rng = np.random.default_rng(4)
+        encoder = ConvolutionalEncoder()
+        a = random_bits(64, rng)
+        b = random_bits(64, rng)
+        coded_a = encoder.encode(a, terminate=False)
+        coded_b = encoder.encode(b, terminate=False)
+        coded_xor = encoder.encode(a ^ b, terminate=False)
+        np.testing.assert_array_equal(coded_xor, coded_a ^ coded_b)
+
+    def test_encode_bit_rejects_non_binary(self):
+        encoder = ConvolutionalEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode_bit(2)
+
+    def test_reset_between_blocks(self):
+        encoder = ConvolutionalEncoder()
+        bits = random_bits(32, np.random.default_rng(5))
+        first = encoder.encode(bits, terminate=False, reset=True)
+        second = encoder.encode(bits, terminate=False, reset=True)
+        np.testing.assert_array_equal(first, second)
+
+    def test_no_reset_continues_state(self):
+        encoder = ConvolutionalEncoder()
+        bits = np.array([1, 1, 0, 1], dtype=np.uint8)
+        encoder.encode(bits, terminate=False, reset=True)
+        continued = encoder.encode(bits, terminate=False, reset=False)
+        fresh = ConvolutionalEncoder().encode(bits, terminate=False)
+        assert not np.array_equal(continued, fresh)

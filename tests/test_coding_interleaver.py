@@ -1,0 +1,124 @@
+"""Tests for repro.coding.interleaver."""
+
+import numpy as np
+import pytest
+
+from repro.coding.interleaver import (
+    BlockDeinterleaver,
+    BlockInterleaver,
+    deinterleave,
+    deinterleaver_permutation,
+    interleave,
+    interleaver_permutation,
+)
+from repro.utils.bits import random_bits
+
+
+class TestPermutation:
+    @pytest.mark.parametrize(
+        "n_cbps,n_bpsc", [(48, 1), (96, 2), (192, 4), (288, 6), (1536, 4)]
+    )
+    def test_is_a_permutation(self, n_cbps, n_bpsc):
+        perm = interleaver_permutation(n_cbps, n_bpsc)
+        assert sorted(perm.tolist()) == list(range(n_cbps))
+
+    def test_inverse_permutation(self):
+        perm = interleaver_permutation(192, 4)
+        inverse = deinterleaver_permutation(192, 4)
+        np.testing.assert_array_equal(perm[inverse], np.arange(192))
+
+    def test_known_80211a_first_entries(self):
+        # For N_CBPS=48, BPSK: bit k goes to position (3*(k mod 16) + k//16).
+        perm = interleaver_permutation(48, 1)
+        expected_first = [3 * (k % 16) + k // 16 for k in range(48)]
+        np.testing.assert_array_equal(perm, expected_first)
+
+    def test_adjacent_bits_spread_apart(self):
+        # Adjacent coded bits must not land on adjacent output positions
+        # (the whole point of the interleaver).
+        perm = interleaver_permutation(192, 4)
+        gaps = np.abs(np.diff(perm.astype(int)))
+        assert gaps.min() >= 4
+
+    def test_rejects_bad_block_size(self):
+        with pytest.raises(ValueError):
+            interleaver_permutation(50, 1)
+        with pytest.raises(ValueError):
+            interleaver_permutation(0, 1)
+        with pytest.raises(ValueError):
+            interleaver_permutation(48, 0)
+
+
+class TestBatchInterleaving:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = random_bits(192 * 3, rng)
+        np.testing.assert_array_equal(
+            deinterleave(interleave(bits, 192, 4), 192, 4), bits
+        )
+
+    def test_roundtrip_soft_values(self):
+        rng = np.random.default_rng(1)
+        llrs = rng.normal(size=288)
+        np.testing.assert_allclose(
+            deinterleave(interleave(llrs, 288, 6), 288, 6), llrs
+        )
+
+    def test_interleave_requires_whole_blocks(self):
+        with pytest.raises(ValueError):
+            interleave(np.zeros(100), 192, 4)
+        with pytest.raises(ValueError):
+            deinterleave(np.zeros(100), 192, 4)
+
+    def test_single_block_is_permutation_of_input(self):
+        rng = np.random.default_rng(2)
+        bits = random_bits(96, rng)
+        out = interleave(bits, 96, 2)
+        assert sorted(out.tolist()) == sorted(bits.tolist())
+        assert not np.array_equal(out, bits)
+
+
+class TestStreamingInterleaver:
+    def test_streaming_matches_batch(self):
+        rng = np.random.default_rng(3)
+        bits = random_bits(192 * 2, rng)
+        interleaver = BlockInterleaver(192, 4)
+        blocks = interleaver.push_block(bits)
+        assert len(blocks) == 2
+        batch = interleave(bits, 192, 4).reshape(2, 192)
+        np.testing.assert_array_equal(np.vstack(blocks), batch)
+
+    def test_no_output_until_block_full(self):
+        interleaver = BlockInterleaver(48, 1)
+        for _ in range(47):
+            assert interleaver.push(1) is None
+        assert interleaver.push(0) is not None
+        assert interleaver.blocks_processed == 1
+
+    def test_fill_level_and_reset(self):
+        interleaver = BlockInterleaver(48, 1)
+        interleaver.push_block(np.ones(30, dtype=np.uint8))
+        assert interleaver.fill_level == 30
+        interleaver.reset()
+        assert interleaver.fill_level == 0
+
+    def test_rejects_non_binary_input(self):
+        with pytest.raises(ValueError):
+            BlockInterleaver(48, 1).push(3)
+
+    def test_streaming_deinterleaver_roundtrip(self):
+        rng = np.random.default_rng(4)
+        bits = random_bits(192, rng)
+        interleaved = interleave(bits, 192, 4)
+        deinterleaver = BlockDeinterleaver(192, 4)
+        blocks = deinterleaver.push_block(interleaved.astype(np.float64))
+        assert len(blocks) == 1
+        np.testing.assert_array_equal(blocks[0].astype(np.uint8), bits)
+
+    def test_deinterleaver_handles_soft_values(self):
+        rng = np.random.default_rng(5)
+        llrs = rng.normal(size=192)
+        interleaved = interleave(llrs, 192, 4)
+        deinterleaver = BlockDeinterleaver(192, 4)
+        blocks = deinterleaver.push_block(interleaved)
+        np.testing.assert_allclose(blocks[0], llrs)

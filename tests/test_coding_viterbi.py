@@ -1,0 +1,139 @@
+"""Tests for repro.coding.viterbi."""
+
+import numpy as np
+import pytest
+
+from repro.coding.convolutional import CodeRate, ConvolutionalCode, ConvolutionalEncoder
+from repro.coding.viterbi import ViterbiDecoder
+from repro.utils.bits import count_bit_errors, random_bits
+
+
+def _encode(bits, rate=CodeRate.RATE_1_2):
+    encoder = ConvolutionalEncoder(ConvolutionalCode.ieee80211a(rate))
+    return encoder.encode(bits, terminate=True)
+
+
+class TestHardDecisionDecoding:
+    def test_error_free_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = random_bits(120, rng)
+        decoded = ViterbiDecoder().decode(_encode(bits), n_info_bits=120)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_roundtrip_all_zero_and_all_one(self):
+        decoder = ViterbiDecoder()
+        zeros = np.zeros(40, dtype=np.uint8)
+        ones = np.ones(40, dtype=np.uint8)
+        np.testing.assert_array_equal(decoder.decode(_encode(zeros), 40), zeros)
+        np.testing.assert_array_equal(decoder.decode(_encode(ones), 40), ones)
+
+    def test_corrects_isolated_bit_errors(self):
+        rng = np.random.default_rng(1)
+        bits = random_bits(200, rng)
+        coded = _encode(bits)
+        corrupted = coded.copy()
+        # Flip well-separated coded bits; K=7 corrects these easily.
+        for position in (10, 90, 170, 250, 330):
+            corrupted[position] ^= 1
+        decoded = ViterbiDecoder().decode(corrupted, n_info_bits=200)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_burst_of_errors_causes_failures(self):
+        # A long error burst exceeds the code's correction ability; the
+        # decoder should NOT silently return the transmitted bits.
+        rng = np.random.default_rng(2)
+        bits = random_bits(100, rng)
+        coded = _encode(bits)
+        corrupted = coded.copy()
+        corrupted[40:80] ^= 1
+        decoded = ViterbiDecoder().decode(corrupted, n_info_bits=100)
+        assert count_bit_errors(decoded, bits) > 0
+
+    def test_length_inference_for_unpunctured(self):
+        rng = np.random.default_rng(3)
+        bits = random_bits(64, rng)
+        decoded = ViterbiDecoder().decode(_encode(bits))
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_unterminated_block(self):
+        rng = np.random.default_rng(4)
+        bits = random_bits(80, rng)
+        encoder = ConvolutionalEncoder()
+        coded = encoder.encode(bits, terminate=False)
+        decoded = ViterbiDecoder().decode(coded, n_info_bits=80, terminated=False)
+        # The tail of an unterminated block is weakly protected; allow a few
+        # errors at the very end but require the bulk to be correct.
+        np.testing.assert_array_equal(decoded[:70], bits[:70])
+
+    def test_empty_block(self):
+        decoded = ViterbiDecoder().decode(np.zeros(12), n_info_bits=0)
+        assert decoded.size == 0
+
+
+class TestPuncturedDecoding:
+    @pytest.mark.parametrize("rate", [CodeRate.RATE_2_3, CodeRate.RATE_3_4])
+    def test_error_free_roundtrip(self, rate):
+        rng = np.random.default_rng(5)
+        bits = random_bits(120, rng)
+        code = ConvolutionalCode.ieee80211a(rate)
+        decoder = ViterbiDecoder(code)
+        decoded = decoder.decode(_encode(bits, rate), n_info_bits=120)
+        np.testing.assert_array_equal(decoded, bits)
+
+    @pytest.mark.parametrize("rate", [CodeRate.RATE_2_3, CodeRate.RATE_3_4])
+    def test_corrects_sparse_errors(self, rate):
+        rng = np.random.default_rng(6)
+        bits = random_bits(150, rng)
+        code = ConvolutionalCode.ieee80211a(rate)
+        coded = _encode(bits, rate)
+        corrupted = coded.copy()
+        corrupted[15] ^= 1
+        corrupted[130] ^= 1
+        decoded = ViterbiDecoder(code).decode(corrupted, n_info_bits=150)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_depuncture_shapes(self):
+        code = ConvolutionalCode.ieee80211a(CodeRate.RATE_3_4)
+        decoder = ViterbiDecoder(code)
+        encoder = ConvolutionalEncoder(code)
+        bits = random_bits(30, np.random.default_rng(7))
+        coded = encoder.encode(bits, terminate=True)
+        full, mask = decoder.depuncture(coded, n_input_bits=36)
+        assert full.shape == (36, 2)
+        assert mask.shape == (36, 2)
+        # 3/4 puncturing keeps 4 of every 6 mother bits.
+        assert mask.sum() == coded.size
+
+    def test_depuncture_length_mismatch(self):
+        decoder = ViterbiDecoder()
+        with pytest.raises(ValueError):
+            decoder.depuncture(np.zeros(11), n_input_bits=6)
+
+
+class TestSoftDecisionDecoding:
+    def test_error_free_roundtrip_with_llrs(self):
+        rng = np.random.default_rng(8)
+        bits = random_bits(100, rng)
+        coded = _encode(bits).astype(np.float64)
+        llrs = 4.0 * (1.0 - 2.0 * coded)  # bit 0 -> +4, bit 1 -> -4
+        decoder = ViterbiDecoder(decision="soft")
+        decoded = decoder.decode(llrs, n_info_bits=100)
+        np.testing.assert_array_equal(decoded, bits)
+
+    def test_soft_information_beats_hard_on_noisy_channel(self):
+        rng = np.random.default_rng(9)
+        n_info = 400
+        bits = random_bits(n_info, rng)
+        coded = _encode(bits).astype(np.float64)
+        bpsk = 1.0 - 2.0 * coded
+        noisy = bpsk + rng.normal(0.0, 0.9, size=bpsk.size)
+        hard_bits = (noisy < 0).astype(np.uint8)
+        hard_decoded = ViterbiDecoder(decision="hard").decode(hard_bits, n_info_bits=n_info)
+        soft_decoded = ViterbiDecoder(decision="soft").decode(2 * noisy, n_info_bits=n_info)
+        hard_errors = count_bit_errors(hard_decoded, bits)
+        soft_errors = count_bit_errors(soft_decoded, bits)
+        assert soft_errors <= hard_errors
+
+    def test_invalid_decision_mode(self):
+        with pytest.raises(ValueError):
+            ViterbiDecoder(decision="fuzzy")

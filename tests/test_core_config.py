@@ -1,0 +1,108 @@
+"""Tests for repro.core.config."""
+
+import numpy as np
+import pytest
+
+from repro.coding.convolutional import CodeRate
+from repro.core.config import OfdmNumerology, TransceiverConfig
+from repro.exceptions import ConfigurationError
+from repro.modulation.constellations import Modulation
+
+
+class TestOfdmNumerology64:
+    def test_80211a_allocation(self):
+        numerology = OfdmNumerology.for_fft_size(64)
+        assert numerology.n_data_subcarriers == 48
+        assert numerology.n_pilots == 4
+        assert numerology.pilot_logical == (-21, -7, 7, 21)
+
+    def test_pilot_bins_are_fft_indices(self):
+        numerology = OfdmNumerology.for_fft_size(64)
+        assert set(numerology.pilot_bins) == {64 - 21, 64 - 7, 7, 21}
+
+    def test_dc_and_guards_unused(self):
+        numerology = OfdmNumerology.for_fft_size(64)
+        active = set(numerology.active_bins)
+        assert 0 not in active  # DC null
+        for guard in range(27, 38):
+            assert guard not in active
+
+    def test_active_mask(self):
+        numerology = OfdmNumerology.for_fft_size(64)
+        mask = numerology.active_mask()
+        assert mask.sum() == 52
+        assert not mask[0]
+
+    def test_pilot_values_last_pilot_negative(self):
+        numerology = OfdmNumerology.for_fft_size(64)
+        assert numerology.pilot_values[-1] == -1
+        assert all(v == 1 for v in numerology.pilot_values[:-1])
+
+
+class TestOfdmNumerology512:
+    def test_scaled_allocation(self):
+        numerology = OfdmNumerology.for_fft_size(512)
+        assert numerology.n_data_subcarriers == 384
+        assert numerology.n_pilots == 32
+        assert numerology.fft_size == 512
+
+    def test_coded_bits_multiple_of_16_for_all_modulations(self):
+        numerology = OfdmNumerology.for_fft_size(512)
+        for modulation in Modulation:
+            assert (numerology.n_data_subcarriers * modulation.bits_per_symbol) % 16 == 0
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OfdmNumerology.for_fft_size(48)
+        with pytest.raises(ConfigurationError):
+            OfdmNumerology.for_fft_size(96)
+
+
+class TestTransceiverConfig:
+    def test_paper_default(self):
+        config = TransceiverConfig.paper_default()
+        assert config.n_antennas == 4
+        assert config.fft_size == 64
+        assert config.modulation is Modulation.QAM16
+        assert config.code_rate is CodeRate.RATE_1_2
+        assert config.cyclic_prefix_length == 16
+        assert config.samples_per_symbol == 80
+        assert config.coded_bits_per_symbol == 192
+        assert config.data_bits_per_symbol == 96
+
+    def test_gigabit_configuration(self):
+        config = TransceiverConfig.gigabit()
+        assert config.modulation is Modulation.QAM64
+        assert config.code_rate is CodeRate.RATE_3_4
+        assert config.coded_bits_per_symbol == 288
+        assert config.data_bits_per_symbol == 216
+
+    def test_string_arguments_accepted(self):
+        config = TransceiverConfig(modulation="64qam", code_rate="3/4")
+        assert config.modulation is Modulation.QAM64
+        assert config.code_rate is CodeRate.RATE_3_4
+
+    def test_symbol_duration(self):
+        assert TransceiverConfig().symbol_duration_s() == pytest.approx(800e-9)
+
+    def test_512_point_configuration(self):
+        config = TransceiverConfig(fft_size=512)
+        assert config.cyclic_prefix_length == 128
+        assert config.numerology.n_data_subcarriers == 384
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverConfig(n_antennas=0)
+        with pytest.raises(ConfigurationError):
+            TransceiverConfig(fft_size=100)
+        with pytest.raises(ConfigurationError):
+            TransceiverConfig(cyclic_prefix_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            TransceiverConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            TransceiverConfig(modulation="1024qam")
+
+    def test_frozen(self):
+        config = TransceiverConfig()
+        with pytest.raises(AttributeError):
+            config.fft_size = 128

@@ -1,0 +1,104 @@
+"""Tests for repro.core.pilots."""
+
+import numpy as np
+import pytest
+
+from repro.coding.scrambler import pilot_polarity_sequence
+from repro.core.config import OfdmNumerology
+from repro.core.pilots import PilotProcessor
+
+
+@pytest.fixture
+def processor() -> PilotProcessor:
+    return PilotProcessor(OfdmNumerology.for_fft_size(64))
+
+
+def _symbol_with_pilots(processor, symbol_index=0):
+    """A frequency-domain symbol carrying pilots and random data."""
+    rng = np.random.default_rng(symbol_index + 1)
+    symbol = np.zeros(64, dtype=np.complex128)
+    data_bins = list(processor.numerology.data_bins)
+    symbol[data_bins] = np.exp(1j * rng.uniform(0, 2 * np.pi, len(data_bins)))
+    return processor.insert(symbol, symbol_index)
+
+
+class TestPilotInsertion:
+    def test_pilot_polarity_follows_scrambler_sequence(self, processor):
+        polarity = pilot_polarity_sequence(10)
+        for n in range(10):
+            assert processor.polarity(n) == polarity[n]
+
+    def test_insert_writes_pilot_bins(self, processor):
+        symbol = processor.insert(np.zeros(64, dtype=complex), 0)
+        pilots = symbol[list(processor.numerology.pilot_bins)]
+        np.testing.assert_allclose(np.abs(pilots), 1.0)
+
+    def test_insert_preserves_data_bins(self, processor):
+        symbol = np.zeros(64, dtype=complex)
+        symbol[1] = 0.5 + 0.5j
+        inserted = processor.insert(symbol, 0)
+        assert inserted[1] == 0.5 + 0.5j
+
+    def test_insert_length_check(self, processor):
+        with pytest.raises(ValueError):
+            processor.insert(np.zeros(32, dtype=complex), 0)
+
+    def test_extract_reads_pilot_bins(self, processor):
+        symbol = _symbol_with_pilots(processor, 3)
+        pilots = processor.extract(symbol)
+        np.testing.assert_allclose(pilots, processor.pilot_values(3))
+
+
+class TestPhaseCorrection:
+    def test_identity_when_no_impairment(self, processor):
+        symbol = _symbol_with_pilots(processor, 0)
+        corrected, diagnostics = processor.correct(symbol, 0)
+        np.testing.assert_allclose(corrected, symbol, atol=1e-9)
+        assert diagnostics.common_phase == pytest.approx(0.0, abs=1e-9)
+        assert diagnostics.tau == pytest.approx(0.0, abs=1e-9)
+
+    @pytest.mark.parametrize("phase", [-1.2, -0.3, 0.4, 1.0, 2.5])
+    def test_removes_common_phase(self, processor, phase):
+        symbol = _symbol_with_pilots(processor, 1)
+        rotated = symbol * np.exp(1j * phase)
+        corrected, diagnostics = processor.correct(rotated, 1)
+        np.testing.assert_allclose(corrected, symbol, atol=1e-6)
+        assert diagnostics.common_phase == pytest.approx(phase, abs=1e-6)
+
+    def test_removes_timing_phase_ramp(self, processor):
+        symbol = _symbol_with_pilots(processor, 2)
+        tau = 0.01
+        logical = np.arange(64, dtype=float)
+        logical[logical > 32] -= 64
+        ramped = symbol * np.exp(1j * tau * logical)
+        corrected, diagnostics = processor.correct(ramped, 2)
+        np.testing.assert_allclose(corrected, symbol, atol=1e-3)
+        assert diagnostics.tau == pytest.approx(tau, abs=1e-3)
+
+    def test_combined_phase_and_timing(self, processor):
+        symbol = _symbol_with_pilots(processor, 5)
+        logical = np.arange(64, dtype=float)
+        logical[logical > 32] -= 64
+        impaired = symbol * np.exp(1j * (0.7 + 0.02 * logical))
+        corrected, _ = processor.correct(impaired, 5)
+        np.testing.assert_allclose(corrected, symbol, atol=1e-2)
+
+    def test_zero_pilots_returns_unchanged(self, processor):
+        symbol = np.zeros(64, dtype=complex)
+        corrected, diagnostics = processor.correct(symbol, 0)
+        np.testing.assert_allclose(corrected, symbol)
+        assert diagnostics.pilot_magnitude == 0.0
+
+    def test_wrong_symbol_length_rejected(self, processor):
+        with pytest.raises(ValueError):
+            processor.correct(np.zeros(32, dtype=complex), 0)
+
+    def test_polarity_scrambled_pilots_still_corrected(self, processor):
+        # Symbol index with negative polarity must still correct properly.
+        negative_indices = [n for n in range(20) if processor.polarity(n) < 0]
+        index = negative_indices[0]
+        symbol = _symbol_with_pilots(processor, index)
+        rotated = symbol * np.exp(1j * 0.9)
+        corrected, diagnostics = processor.correct(rotated, index)
+        np.testing.assert_allclose(corrected, symbol, atol=1e-6)
+        assert diagnostics.common_phase == pytest.approx(0.9, abs=1e-6)

@@ -1,0 +1,108 @@
+"""Tests for repro.core.preamble."""
+
+import numpy as np
+import pytest
+
+from repro.core.preamble import PreambleGenerator, STS_REPETITIONS
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def preamble() -> PreambleGenerator:
+    return PreambleGenerator(64)
+
+
+class TestFrequencySequences:
+    def test_lts_is_plus_minus_one_on_52_subcarriers(self, preamble):
+        lts = preamble.lts_frequency
+        active = np.abs(lts) > 0
+        assert active.sum() == 52
+        assert np.all(np.isin(lts[active].real, [-1.0, 1.0]))
+        assert np.all(lts[active].imag == 0)
+
+    def test_lts_dc_is_zero(self, preamble):
+        assert preamble.lts_frequency[0] == 0
+
+    def test_lts_matches_80211a_first_values(self, preamble):
+        # Subcarriers +1..+4 of the 802.11a LTS are 1, -1, -1, 1.
+        np.testing.assert_allclose(preamble.lts_frequency[1:5], [1, -1, -1, 1])
+
+    def test_sts_occupies_every_fourth_subcarrier(self, preamble):
+        sts = preamble.sts_frequency
+        nonzero_bins = np.nonzero(np.abs(sts) > 0)[0]
+        logical = np.where(nonzero_bins <= 32, nonzero_bins, nonzero_bins - 64)
+        assert np.all(logical % 4 == 0)
+        assert nonzero_bins.size == 12
+
+    def test_sts_magnitude_scaling(self, preamble):
+        nonzero = preamble.sts_frequency[np.abs(preamble.sts_frequency) > 0]
+        np.testing.assert_allclose(np.abs(nonzero), np.sqrt(13 / 6) * np.sqrt(2))
+
+
+class TestTimeDomainSections:
+    def test_sts_length_and_periodicity(self, preamble):
+        sts = preamble.sts_time()
+        assert sts.size == STS_REPETITIONS * 16
+        np.testing.assert_allclose(sts[:16], sts[16:32], atol=1e-12)
+        np.testing.assert_allclose(sts[:16], sts[144:160], atol=1e-12)
+
+    def test_lts_length_and_structure(self, preamble):
+        lts = preamble.lts_time()
+        assert lts.size == 32 + 64 + 64
+        # The long cyclic prefix is the tail of the LTS symbol.
+        np.testing.assert_allclose(lts[:32], lts[64:96], atol=1e-12)
+        # Two identical repetitions follow.
+        np.testing.assert_allclose(lts[32:96], lts[96:160], atol=1e-12)
+
+    def test_lts_symbol_transforms_back_to_frequency_sequence(self, preamble):
+        symbol = preamble.lts_symbol_time()
+        np.testing.assert_allclose(np.fft.fft(symbol), preamble.lts_frequency, atol=1e-9)
+
+    def test_512_point_sections_scale(self):
+        preamble512 = PreambleGenerator(512)
+        assert preamble512.sts_time().size == STS_REPETITIONS * 128
+        assert preamble512.lts_time().size == 256 + 2 * 512
+
+
+class TestMimoSchedule:
+    def test_layout_lengths(self, preamble):
+        layout = preamble.layout(4)
+        assert layout.sts_length == 160
+        assert layout.lts_slot_length == 160
+        assert layout.total_length == 160 + 4 * 160
+        assert layout.data_start == 800
+
+    def test_sts_only_from_antenna_zero(self, preamble):
+        waveform = preamble.mimo_preamble(4)
+        sts_region = waveform[:, :160]
+        assert np.any(np.abs(sts_region[0]) > 0)
+        np.testing.assert_allclose(sts_region[1:], 0)
+
+    def test_lts_slots_are_staggered(self, preamble):
+        waveform = preamble.mimo_preamble(4)
+        layout = preamble.layout(4)
+        for antenna in range(4):
+            start = layout.lts_slot_start(antenna)
+            slot = waveform[:, start : start + layout.lts_slot_length]
+            assert np.any(np.abs(slot[antenna]) > 0)
+            others = [a for a in range(4) if a != antenna]
+            np.testing.assert_allclose(slot[others], 0)
+
+    def test_schedule_description_matches_figure2(self, preamble):
+        schedule = preamble.transmission_schedule(4)
+        assert schedule[0] == ("STS", 0, 0, 160)
+        assert schedule[1] == ("LTS", 0, 160, 160)
+        assert schedule[4] == ("LTS", 3, 640, 160)
+
+    def test_lts_slot_start_bounds(self, preamble):
+        layout = preamble.layout(4)
+        with pytest.raises(ValueError):
+            layout.lts_slot_start(4)
+
+    def test_invalid_antenna_count(self, preamble):
+        with pytest.raises(ConfigurationError):
+            preamble.mimo_preamble(0)
+
+    def test_invalid_fft_size(self):
+        with pytest.raises(ConfigurationError):
+            PreambleGenerator(32)

@@ -1,0 +1,169 @@
+"""Tests for repro.core.receiver."""
+
+import numpy as np
+import pytest
+
+from repro.channel.fading import FlatRayleighChannel, FrequencySelectiveChannel
+from repro.channel.model import MimoChannel
+from repro.core.config import TransceiverConfig
+from repro.core.receiver import MimoReceiver
+from repro.core.transmitter import MimoTransmitter
+from repro.exceptions import ConfigurationError, DecodingError
+
+
+def _loopback(config, channel=None, n_info_bits=200, seed=0, **receive_kwargs):
+    """Transmit a random burst, push it through a channel, and receive it."""
+    transmitter = MimoTransmitter(config)
+    receiver = MimoReceiver(config)
+    burst = transmitter.transmit_random(n_info_bits, rng=np.random.default_rng(seed))
+    samples = burst.samples
+    if channel is not None:
+        samples = channel.transmit(samples).samples
+    result = receiver.receive(
+        samples, n_info_bits=n_info_bits, reference_bits=burst.info_bits, **receive_kwargs
+    )
+    return burst, result
+
+
+class TestIdealLoopback:
+    def test_all_streams_decoded_without_errors(self, paper_config):
+        burst, result = _loopback(paper_config)
+        assert result.total_bit_errors(burst.info_bits) == 0
+        for stream in result.streams:
+            assert stream.bit_errors == 0
+            assert stream.bit_error_rate == 0.0
+
+    def test_lts_found_at_expected_position(self, paper_config):
+        _, result = _loopback(paper_config)
+        assert result.lts_start == 160
+
+    def test_channel_estimate_close_to_identity(self, paper_config):
+        # The receiver advances its FFT windows into the cyclic prefix by a
+        # known amount, so the estimate is the true channel times the
+        # corresponding per-subcarrier phase ramp.
+        _, result = _loopback(paper_config)
+        estimate = result.channel_estimate
+        receiver = MimoReceiver(paper_config)
+        advance = receiver.timing_advance
+        active = np.nonzero(estimate.active_mask)[0]
+        for k in active[:5]:
+            ramp = np.exp(-2j * np.pi * k * advance / 64)
+            np.testing.assert_allclose(estimate.matrices[k], ramp * np.eye(4), atol=1e-6)
+
+    def test_equalized_symbols_land_on_constellation(self, paper_config):
+        _, result = _loopback(paper_config)
+        symbols = result.streams[0].equalized_symbols.ravel()
+        # 16-QAM points have max magnitude 3*sqrt(2)/sqrt(10) ~ 1.342.
+        assert np.max(np.abs(symbols)) < 1.5
+
+    def test_diagnostics_populated(self, paper_config):
+        _, result = _loopback(paper_config)
+        assert result.diagnostics["lts_start"] == 160
+        assert result.diagnostics["n_ofdm_symbols"] >= 1
+
+
+class TestModulationAndRateSweep:
+    @pytest.mark.parametrize("modulation", ["bpsk", "qpsk", "16qam", "64qam"])
+    def test_all_modulations_error_free_on_ideal_channel(self, modulation):
+        config = TransceiverConfig(modulation=modulation)
+        burst, result = _loopback(config, n_info_bits=150, seed=1)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    @pytest.mark.parametrize("rate", ["1/2", "2/3", "3/4"])
+    def test_all_code_rates_error_free_on_ideal_channel(self, rate):
+        config = TransceiverConfig(code_rate=rate)
+        burst, result = _loopback(config, n_info_bits=150, seed=2)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_soft_decision_mode(self):
+        config = TransceiverConfig(soft_decision=True)
+        burst, result = _loopback(config, n_info_bits=150, seed=3)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_no_scrambling_mode(self):
+        config = TransceiverConfig(scramble=False)
+        burst, result = _loopback(config, n_info_bits=150, seed=4)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+
+class TestFadingLoopback:
+    def test_flat_rayleigh_high_snr_error_free(self, paper_config):
+        channel = MimoChannel(FlatRayleighChannel(rng=25), snr_db=35.0, rng=22)
+        burst, result = _loopback(paper_config, channel=channel, seed=5)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_badly_conditioned_channel_survives_with_coding_at_high_snr(self, paper_config):
+        # Seed 21 draws a channel with condition number ~48; zero forcing
+        # amplifies the noise heavily, but at 45 dB the coded link still
+        # closes -- illustrating the ZF noise-enhancement cost.
+        channel = MimoChannel(FlatRayleighChannel(rng=21), snr_db=45.0, rng=22)
+        burst, result = _loopback(paper_config, channel=channel, seed=5)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_frequency_selective_high_snr_error_free(self, paper_config):
+        channel = MimoChannel(
+            FrequencySelectiveChannel(n_taps=4, rng=23), snr_db=35.0, rng=24
+        )
+        burst, result = _loopback(paper_config, channel=channel, seed=6)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_channel_estimate_matches_true_flat_channel(self, paper_config):
+        fading = FlatRayleighChannel(rng=25)
+        channel = MimoChannel(fading)
+        burst, result = _loopback(paper_config, channel=channel, seed=7)
+        estimate = result.channel_estimate
+        advance = MimoReceiver(paper_config).timing_advance
+        active = np.nonzero(estimate.active_mask)[0]
+        for k in active[::10]:
+            ramp = np.exp(-2j * np.pi * k * advance / 64)
+            np.testing.assert_allclose(estimate.matrices[k], ramp * fading.matrix, atol=1e-6)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_sample_delay_is_absorbed_by_time_sync(self, paper_config):
+        channel = MimoChannel(FlatRayleighChannel(rng=26), snr_db=35.0, rng=27, sample_delay=53)
+        burst, result = _loopback(paper_config, channel=channel, seed=8)
+        assert result.lts_start == 160 + 53
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_low_snr_produces_errors(self, paper_config):
+        channel = MimoChannel(FlatRayleighChannel(rng=28), snr_db=3.0, rng=29)
+        burst, result = _loopback(paper_config, channel=channel, seed=9)
+        assert result.total_bit_errors(burst.info_bits) > 0
+
+
+class TestKnownTimingAndValidation:
+    def test_known_lts_start_bypasses_sync(self, paper_config):
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config)
+        burst = transmitter.transmit_random(120, rng=np.random.default_rng(10))
+        result = receiver.receive(burst.samples, n_info_bits=120, lts_start=160)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_wrong_antenna_count_rejected(self, paper_config):
+        receiver = MimoReceiver(paper_config)
+        with pytest.raises(ConfigurationError):
+            receiver.receive(np.zeros((2, 4000), dtype=complex), n_info_bits=100)
+
+    def test_non_positive_info_bits_rejected(self, paper_config):
+        receiver = MimoReceiver(paper_config)
+        with pytest.raises(ConfigurationError):
+            receiver.receive(np.zeros((4, 4000), dtype=complex), n_info_bits=0)
+
+    def test_burst_too_short_raises(self, paper_config):
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config)
+        burst = transmitter.transmit_random(120, rng=np.random.default_rng(11))
+        truncated = burst.samples[:, :900]
+        with pytest.raises(DecodingError):
+            receiver.receive(truncated, n_info_bits=120, lts_start=160)
+
+    def test_reference_length_mismatch_rejected(self, paper_config):
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config)
+        burst = transmitter.transmit_random(120, rng=np.random.default_rng(12))
+        with pytest.raises(ValueError):
+            receiver.receive(
+                burst.samples,
+                n_info_bits=120,
+                reference_bits=[np.zeros(60, dtype=np.uint8)] * 4,
+            )

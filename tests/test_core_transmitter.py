@@ -1,0 +1,147 @@
+"""Tests for repro.core.transmitter."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import TransceiverConfig
+from repro.core.transmitter import MimoTransmitter
+from repro.dsp.fft import fft
+from repro.exceptions import ConfigurationError
+from repro.modulation.demapper import SymbolDemapper
+from repro.utils.bits import random_bits
+
+
+@pytest.fixture
+def transmitter(paper_config) -> MimoTransmitter:
+    return MimoTransmitter(paper_config)
+
+
+class TestSizingHelpers:
+    def test_coded_length_rate_half(self, transmitter):
+        assert transmitter.coded_length(90) == 2 * (90 + 6)
+
+    def test_symbols_for_info_bits(self, transmitter):
+        # 96 info bits -> 204 coded bits -> 2 symbols of 192 coded bits.
+        assert transmitter.symbols_for_info_bits(90) == 1
+        assert transmitter.symbols_for_info_bits(96) == 2
+        assert transmitter.symbols_for_info_bits(500) == 6
+
+    def test_max_info_bits_inverse_of_symbols(self, transmitter):
+        for n_symbols in (1, 2, 5, 10):
+            info = transmitter.max_info_bits(n_symbols)
+            assert transmitter.symbols_for_info_bits(info) == n_symbols
+            assert transmitter.symbols_for_info_bits(info + 1) == n_symbols + 1
+
+    def test_invalid_sizes(self, transmitter):
+        with pytest.raises(ConfigurationError):
+            transmitter.symbols_for_info_bits(0)
+        with pytest.raises(ConfigurationError):
+            transmitter.max_info_bits(0)
+
+
+class TestBurstStructure:
+    def test_output_shape(self, transmitter):
+        rng = np.random.default_rng(0)
+        burst = transmitter.transmit_random(200, rng=rng)
+        n_symbols = transmitter.symbols_for_info_bits(200)
+        # preamble + data symbols + one-CP idle tail
+        expected = 800 + n_symbols * 80 + 16
+        assert burst.samples.shape == (4, expected)
+        assert burst.n_ofdm_symbols == n_symbols
+        assert burst.payload_bits == 4 * 200
+
+    def test_preamble_region_matches_generator(self, transmitter):
+        burst = transmitter.transmit_random(100, rng=np.random.default_rng(1))
+        expected_preamble = transmitter.preamble.mimo_preamble(4)
+        np.testing.assert_allclose(burst.samples[:, :800], expected_preamble)
+
+    def test_cyclic_prefix_present_on_every_data_symbol(self, transmitter):
+        burst = transmitter.transmit_random(150, rng=np.random.default_rng(2))
+        sps = 80
+        for n in range(burst.n_ofdm_symbols):
+            start = 800 + n * sps
+            symbol = burst.samples[0, start : start + sps]
+            np.testing.assert_allclose(symbol[:16], symbol[64:80], atol=1e-12)
+
+    def test_streams_carry_independent_data(self, transmitter):
+        rng = np.random.default_rng(3)
+        burst = transmitter.transmit_random(200, rng=rng)
+        assert not np.allclose(burst.samples[0, 800:], burst.samples[1, 800:])
+
+    def test_duration_at_100mhz(self, transmitter):
+        burst = transmitter.transmit_random(96, rng=np.random.default_rng(4))
+        assert burst.duration_s == pytest.approx(burst.n_samples * 10e-9)
+
+    def test_stream_count_validation(self, transmitter):
+        with pytest.raises(ConfigurationError):
+            transmitter.transmit([np.array([1, 0])] * 3)
+
+    def test_empty_stream_rejected(self, transmitter):
+        with pytest.raises(ConfigurationError):
+            transmitter.transmit([np.array([], dtype=np.uint8)] * 4)
+
+    def test_unequal_streams_padded_to_same_symbols(self, transmitter):
+        streams = [
+            random_bits(50, np.random.default_rng(5)),
+            random_bits(300, np.random.default_rng(6)),
+            random_bits(10, np.random.default_rng(7)),
+            random_bits(100, np.random.default_rng(8)),
+        ]
+        burst = transmitter.transmit(streams)
+        assert burst.n_ofdm_symbols == transmitter.symbols_for_info_bits(300)
+
+
+class TestSpectralStructure:
+    def test_data_symbols_only_occupy_active_subcarriers(self, transmitter):
+        burst = transmitter.transmit_random(96, rng=np.random.default_rng(9))
+        start = 800 + 16  # first data symbol, after its cyclic prefix
+        frequency = fft(burst.samples[0, start : start + 64])
+        active = transmitter.numerology.active_mask()
+        np.testing.assert_allclose(frequency[~active], 0, atol=1e-9)
+        assert np.all(np.abs(frequency[active]) > 1e-6)
+
+    def test_pilot_subcarriers_carry_expected_values(self, transmitter):
+        burst = transmitter.transmit_random(96, rng=np.random.default_rng(10))
+        start = 800 + 16
+        frequency = fft(burst.samples[2, start : start + 64])
+        pilots = frequency[list(transmitter.numerology.pilot_bins)]
+        np.testing.assert_allclose(pilots, transmitter.pilots.pilot_values(0), atol=1e-9)
+
+    def test_data_subcarriers_are_constellation_points(self, transmitter):
+        burst = transmitter.transmit_random(96, rng=np.random.default_rng(11))
+        start = 800 + 16
+        frequency = fft(burst.samples[1, start : start + 64])
+        data = frequency[list(transmitter.numerology.data_bins)]
+        demapper = SymbolDemapper(transmitter.config.modulation)
+        points = demapper.constellation.points
+        distances = np.min(np.abs(data[:, None] - points[None, :]), axis=1)
+        np.testing.assert_allclose(distances, 0, atol=1e-9)
+
+    def test_frequency_symbols_diagnostic_matches_waveform(self, transmitter):
+        burst = transmitter.transmit_random(96, rng=np.random.default_rng(12))
+        start = 800 + 16
+        frequency = fft(burst.samples[3, start : start + 64])
+        np.testing.assert_allclose(frequency, burst.frequency_symbols[3, 0], atol=1e-9)
+
+
+class TestScramblingAndCoding:
+    def test_scrambling_changes_coded_stream(self, paper_config):
+        bits = np.zeros(96, dtype=np.uint8)
+        scrambled_tx = MimoTransmitter(paper_config)
+        unscrambled_tx = MimoTransmitter(
+            TransceiverConfig(scramble=False)
+        )
+        a = scrambled_tx.transmit([bits] * 4)
+        b = unscrambled_tx.transmit([bits] * 4)
+        assert not np.allclose(a.samples[:, 800:], b.samples[:, 800:])
+
+    def test_coded_bits_length_is_whole_symbols(self, transmitter):
+        burst = transmitter.transmit_random(123, rng=np.random.default_rng(13))
+        for coded in burst.coded_bits:
+            assert coded.size == burst.n_ofdm_symbols * 192
+
+    def test_gigabit_config_uses_64qam(self, gigabit_config):
+        transmitter = MimoTransmitter(gigabit_config)
+        burst = transmitter.transmit_random(216, rng=np.random.default_rng(14))
+        assert transmitter.config.coded_bits_per_symbol == 288
+        assert burst.n_ofdm_symbols == transmitter.symbols_for_info_bits(216)

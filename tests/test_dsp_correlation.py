@@ -1,0 +1,69 @@
+"""Tests for repro.dsp.correlation."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.correlation import SlidingWindowCorrelator, cross_correlate
+
+
+class TestCrossCorrelate:
+    def test_output_length(self):
+        out = cross_correlate(np.ones(100, dtype=complex), np.ones(32, dtype=complex))
+        assert out.size == 100 - 32 + 1
+
+    def test_peak_at_embedded_reference(self):
+        rng = np.random.default_rng(1)
+        reference = rng.normal(size=32) + 1j * rng.normal(size=32)
+        noise = 0.01 * (rng.normal(size=200) + 1j * rng.normal(size=200))
+        stream = noise.copy()
+        stream[77:109] += np.conj(reference)  # conjugate so the product sums coherently
+        correlation = cross_correlate(stream, reference)
+        assert int(np.argmax(np.abs(correlation))) == 77
+
+    def test_matches_manual_sum(self):
+        x = np.arange(10, dtype=complex)
+        ref = np.array([1 + 1j, 2 - 1j, 0.5j])
+        correlation = cross_correlate(x, ref)
+        manual = sum(x[3 + i] * ref[i] for i in range(3))
+        assert correlation[3] == pytest.approx(manual)
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            cross_correlate(np.ones(5, dtype=complex), np.array([], dtype=complex))
+
+    def test_short_stream_rejected(self):
+        with pytest.raises(ValueError):
+            cross_correlate(np.ones(5, dtype=complex), np.ones(6, dtype=complex))
+
+
+class TestSlidingWindowCorrelator:
+    def test_streaming_matches_batch(self):
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=16) + 1j * rng.normal(size=16)
+        stream = rng.normal(size=60) + 1j * rng.normal(size=60)
+        correlator = SlidingWindowCorrelator(reference)
+        streamed = np.array(correlator.process(stream))
+        batch = cross_correlate(stream, reference)
+        np.testing.assert_allclose(streamed, batch, atol=1e-12)
+
+    def test_no_output_before_window_full(self):
+        correlator = SlidingWindowCorrelator(np.ones(8, dtype=complex))
+        for i in range(7):
+            assert correlator.push(1.0) is None
+        assert correlator.push(1.0) is not None
+
+    def test_multiplier_counts_match_paper(self):
+        # 32 complex taps -> 128 real multipliers, as stated in the paper.
+        correlator = SlidingWindowCorrelator(np.ones(32, dtype=complex))
+        assert correlator.multiplier_count == 32
+        assert correlator.real_multiplier_count == 128
+
+    def test_reset_clears_window(self):
+        correlator = SlidingWindowCorrelator(np.ones(4, dtype=complex))
+        correlator.process(np.ones(4))
+        correlator.reset()
+        assert correlator.push(1.0) is None
+
+    def test_empty_reference_rejected(self):
+        with pytest.raises(ValueError):
+            SlidingWindowCorrelator(np.array([], dtype=complex))

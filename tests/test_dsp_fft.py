@@ -1,0 +1,141 @@
+"""Tests for repro.dsp.fft."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fft import (
+    Fft,
+    bit_reverse_indices,
+    fft,
+    fixed_point_fft,
+    ifft,
+    ofdm_demodulate,
+    ofdm_modulate,
+)
+from repro.dsp.fixedpoint import FixedPointFormat
+
+
+class TestBitReverse:
+    def test_known_permutation_8(self):
+        np.testing.assert_array_equal(
+            bit_reverse_indices(8), [0, 4, 2, 6, 1, 5, 3, 7]
+        )
+
+    def test_is_a_permutation(self):
+        for n in (16, 64, 256):
+            indices = bit_reverse_indices(n)
+            assert sorted(indices.tolist()) == list(range(n))
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            bit_reverse_indices(12)
+
+
+class TestFftCorrectness:
+    @pytest.mark.parametrize("n", [4, 16, 64, 512])
+    def test_matches_numpy_forward(self, n):
+        rng = np.random.default_rng(n)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(fft(x), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [4, 64, 256])
+    def test_matches_numpy_inverse(self, n):
+        rng = np.random.default_rng(n + 1)
+        x = rng.normal(size=n) + 1j * rng.normal(size=n)
+        np.testing.assert_allclose(ifft(x), np.fft.ifft(x), atol=1e-9)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(9)
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        np.testing.assert_allclose(ifft(fft(x)), x, atol=1e-9)
+
+    def test_multidimensional_input_last_axis(self):
+        rng = np.random.default_rng(10)
+        x = rng.normal(size=(4, 64)) + 1j * rng.normal(size=(4, 64))
+        np.testing.assert_allclose(fft(x), np.fft.fft(x, axis=-1), atol=1e-9)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            fft(np.ones(10))
+
+    def test_parseval(self):
+        rng = np.random.default_rng(11)
+        x = rng.normal(size=128) + 1j * rng.normal(size=128)
+        freq = fft(x)
+        assert np.sum(np.abs(x) ** 2) == pytest.approx(np.sum(np.abs(freq) ** 2) / 128)
+
+
+class TestFixedPointFft:
+    def test_close_to_float_reference(self):
+        fmt = FixedPointFormat(word_length=16, frac_bits=14)
+        rng = np.random.default_rng(12)
+        x = (rng.normal(size=64) + 1j * rng.normal(size=64)) * 0.05
+        fixed = fixed_point_fft(x, fmt) * 64
+        np.testing.assert_allclose(fixed, np.fft.fft(x), atol=2e-2)
+
+    def test_inverse_mode(self):
+        fmt = FixedPointFormat(word_length=18, frac_bits=16)
+        rng = np.random.default_rng(13)
+        x = (rng.normal(size=64) + 1j * rng.normal(size=64)) * 0.05
+        fixed = fixed_point_fft(x, fmt, inverse=True)
+        np.testing.assert_allclose(fixed, np.fft.ifft(x), atol=1e-3)
+
+    def test_requires_1d(self):
+        fmt = FixedPointFormat(word_length=16, frac_bits=14)
+        with pytest.raises(ValueError):
+            fixed_point_fft(np.ones((2, 8), dtype=complex), fmt)
+
+
+class TestFftEngine:
+    def test_forward_inverse_roundtrip(self):
+        engine = Fft(64)
+        rng = np.random.default_rng(14)
+        x = rng.normal(size=64) + 1j * rng.normal(size=64)
+        np.testing.assert_allclose(engine.inverse(engine.forward(x)), x, atol=1e-9)
+
+    def test_stage_count_and_latency(self):
+        engine = Fft(64)
+        assert engine.stages == 6
+        assert engine.latency_cycles == 64 + 6 * Fft.PIPELINE_DEPTH_PER_STAGE
+
+    def test_512_point_latency_larger(self):
+        assert Fft(512).latency_cycles > Fft(64).latency_cycles
+
+    def test_wrong_block_length_rejected(self):
+        engine = Fft(64)
+        with pytest.raises(ValueError):
+            engine.forward(np.ones(32, dtype=complex))
+
+    def test_fixed_point_engine(self):
+        fmt = FixedPointFormat(word_length=16, frac_bits=14)
+        engine = Fft(64, fixed_format=fmt)
+        rng = np.random.default_rng(15)
+        x = (rng.normal(size=64) + 1j * rng.normal(size=64)) * 0.05
+        np.testing.assert_allclose(engine.forward(x), np.fft.fft(x), atol=2e-2)
+
+
+class TestOfdmModulation:
+    def test_cyclic_prefix_is_tail_copy(self):
+        rng = np.random.default_rng(16)
+        freq = rng.normal(size=64) + 1j * rng.normal(size=64)
+        symbol = ofdm_modulate(freq, 16)
+        assert symbol.size == 80
+        np.testing.assert_allclose(symbol[:16], symbol[64:], atol=1e-12)
+
+    def test_roundtrip_through_demodulation(self):
+        rng = np.random.default_rng(17)
+        freq = rng.normal(size=64) + 1j * rng.normal(size=64)
+        symbol = ofdm_modulate(freq, 16)
+        np.testing.assert_allclose(ofdm_demodulate(symbol, 64, 16), freq, atol=1e-9)
+
+    def test_zero_prefix(self):
+        freq = np.ones(64, dtype=complex)
+        assert ofdm_modulate(freq, 0).size == 64
+
+    def test_invalid_prefix_length(self):
+        with pytest.raises(ValueError):
+            ofdm_modulate(np.ones(64, dtype=complex), 65)
+
+    def test_demodulate_length_check(self):
+        with pytest.raises(ValueError):
+            ofdm_demodulate(np.ones(70, dtype=complex), 64, 16)

@@ -1,0 +1,117 @@
+"""Tests for repro.dsp.fixedpoint."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fixedpoint import (
+    FixedPointFormat,
+    MULTIPLIER_FORMAT_18BIT,
+    SAMPLE_FORMAT_16BIT,
+    quantize,
+    quantize_complex,
+)
+
+
+class TestFormatValidation:
+    def test_rejects_tiny_word_length(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(word_length=1, frac_bits=0)
+
+    def test_rejects_negative_frac_bits(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(word_length=8, frac_bits=-1)
+
+    def test_rejects_frac_bits_exceeding_word(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(word_length=8, frac_bits=8)
+
+    def test_rejects_unknown_rounding(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(word_length=8, frac_bits=4, rounding="nearest-even")
+
+    def test_rejects_unknown_overflow(self):
+        with pytest.raises(ValueError):
+            FixedPointFormat(word_length=8, frac_bits=4, overflow="clip")
+
+
+class TestRangesAndResolution:
+    def test_resolution(self):
+        fmt = FixedPointFormat(word_length=16, frac_bits=14)
+        assert fmt.resolution == 2.0 ** -14
+
+    def test_min_max(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=4)
+        assert fmt.max_value == pytest.approx(127 / 16)
+        assert fmt.min_value == pytest.approx(-128 / 16)
+
+    def test_paper_formats_exist(self):
+        assert SAMPLE_FORMAT_16BIT.word_length == 16
+        assert MULTIPLIER_FORMAT_18BIT.word_length == 18
+
+
+class TestQuantization:
+    def test_exact_values_preserved(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=4)
+        values = np.array([0.0, 0.25, -0.5, 1.0])
+        np.testing.assert_allclose(fmt.quantize(values), values)
+
+    def test_rounding_to_nearest(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=2)
+        assert fmt.quantize(0.3) == pytest.approx(0.25)
+        assert fmt.quantize(0.4) == pytest.approx(0.5)
+
+    def test_truncation_mode(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=2, rounding="truncate")
+        assert fmt.quantize(0.49) == pytest.approx(0.25)
+        assert fmt.quantize(-0.1) == pytest.approx(-0.25)
+
+    def test_saturation(self):
+        fmt = FixedPointFormat(word_length=4, frac_bits=2)
+        assert fmt.quantize(100.0) == fmt.max_value
+        assert fmt.quantize(-100.0) == fmt.min_value
+
+    def test_wrap_overflow(self):
+        fmt = FixedPointFormat(word_length=4, frac_bits=0, overflow="wrap")
+        # Range is [-8, 7]; 8 wraps to -8.
+        assert fmt.quantize(8.0) == -8.0
+
+    def test_quantization_error_bounded_by_half_lsb(self):
+        fmt = FixedPointFormat(word_length=12, frac_bits=10)
+        rng = np.random.default_rng(5)
+        values = rng.uniform(-1.0, 1.0, 1000)
+        error = np.abs(fmt.quantize(values) - values)
+        assert np.all(error <= fmt.resolution / 2 + 1e-12)
+
+    def test_complex_quantization(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=4)
+        value = 0.3 + 0.7j
+        quantised = fmt.quantize_complex(value)
+        assert quantised.real == fmt.quantize(0.3)
+        assert quantised.imag == fmt.quantize(0.7)
+
+    def test_quantize_rejects_complex(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=4)
+        with pytest.raises(TypeError):
+            fmt.quantize(1.0 + 1j)
+
+    def test_functional_wrappers(self):
+        fmt = FixedPointFormat(word_length=8, frac_bits=4)
+        assert quantize(0.25, fmt) == 0.25
+        assert quantize_complex(0.25 + 0.5j, fmt) == 0.25 + 0.5j
+
+
+class TestIntegerConversion:
+    def test_roundtrip(self):
+        fmt = FixedPointFormat(word_length=10, frac_bits=6)
+        values = np.array([0.5, -0.25, 1.125])
+        raw = fmt.to_integers(values)
+        np.testing.assert_allclose(fmt.from_integers(raw), values)
+
+    def test_from_integers_range_checked(self):
+        fmt = FixedPointFormat(word_length=4, frac_bits=0)
+        with pytest.raises(ValueError):
+            fmt.from_integers([100])
+
+    def test_noise_power_formula(self):
+        fmt = FixedPointFormat(word_length=16, frac_bits=15)
+        assert fmt.quantization_noise_power() == pytest.approx(fmt.resolution ** 2 / 12)

@@ -1,0 +1,51 @@
+"""Smoke tests that the example scripts run and produce their key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        check=True,
+    )
+    return result.stdout
+
+
+def test_quickstart_decodes_without_error():
+    output = _run("quickstart.py")
+    assert "bit error rate" in output
+    assert "decoded without error" in output
+
+
+def test_resource_report_reproduces_tables():
+    output = _run("resource_report.py")
+    assert "33,423" in output  # Table 1 ALUTs
+    assert "183,957" in output  # Table 3 ALUTs
+    assert "(paper: 86% and 77%)" in output
+
+
+def test_hardware_pipeline_reports_qrd_latency():
+    output = _run("hardware_pipeline.py")
+    assert "440 cycles" in output
+    assert "matches functional model : True" in output
+
+
+@pytest.mark.slow
+def test_ber_waterfall_small_run():
+    output = _run("ber_waterfall.py", "--bursts", "1", "--bits", "100")
+    assert "1 Gbps headline" in output
+
+
+@pytest.mark.slow
+def test_streaming_downlink_small_payload():
+    output = _run("streaming_downlink.py", "--kilobytes", "1")
+    assert "goodput" in output

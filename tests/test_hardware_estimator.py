@@ -1,0 +1,207 @@
+"""Tests for repro.hardware.estimator — the Tables 1-4 resource model."""
+
+import pytest
+
+from repro.hardware.estimator import (
+    PAPER_CONFIG,
+    ReceiverResourceModel,
+    ResourceModelConfig,
+    STRATIX_IV_DEVICE,
+    TransmitterResourceModel,
+    qrd_cordic_cell_count,
+)
+
+
+class TestConfigValidation:
+    def test_defaults_are_paper_configuration(self):
+        assert PAPER_CONFIG.n_channels == 4
+        assert PAPER_CONFIG.fft_size == 64
+        assert PAPER_CONFIG.bits_per_subcarrier == 4
+        assert PAPER_CONFIG.coded_bits_per_symbol == 192
+        assert PAPER_CONFIG.trellis_states == 64
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceModelConfig(n_channels=0)
+        with pytest.raises(ValueError):
+            ResourceModelConfig(fft_size=100)
+        with pytest.raises(ValueError):
+            ResourceModelConfig(n_data_subcarriers=0)
+        with pytest.raises(ValueError):
+            ResourceModelConfig(correlator_window=0)
+        with pytest.raises(ValueError):
+            ResourceModelConfig(viterbi_constraint_length=1)
+
+
+class TestQrdCellCount:
+    def test_paper_array_composition(self):
+        # 4 boundary cells x 2 CORDICs + 6 R internal x 3 + 16 Q internal x 3.
+        assert qrd_cordic_cell_count(4) == 8 + 18 + 48
+
+    def test_grows_quadratically(self):
+        assert qrd_cordic_cell_count(8) > 3 * qrd_cordic_cell_count(4)
+
+
+class TestTransmitterTable1:
+    def test_totals_match_paper(self):
+        totals = TransmitterResourceModel().system_totals()
+        assert totals.aluts == 33_423
+        assert totals.registers == 12_320
+        assert totals.memory_bits == 265_408
+        assert totals.dsp_blocks == 32
+
+    def test_utilization_matches_paper_percentages(self):
+        utilization = TransmitterResourceModel().utilization(STRATIX_IV_DEVICE)
+        assert utilization["aluts"] == pytest.approx(7.8, abs=0.1)
+        assert utilization["registers"] == pytest.approx(2.9, abs=0.1)
+        assert utilization["memory_bits"] == pytest.approx(1.2, abs=0.1)
+        assert utilization["dsp_blocks"] == pytest.approx(3.1, abs=0.1)
+
+
+class TestTransmitterTable2:
+    def test_entity_values_match_paper(self):
+        model = TransmitterResourceModel()
+        assert model.entity_usage("conv_encoder").aluts == 32
+        assert model.entity_usage("block_interleaver").aluts == 28_016
+        assert model.entity_usage("ifft").as_dict() == {
+            "aluts": 3_854,
+            "registers": 9_152,
+            "memory_bits": 8_896,
+            "dsp_blocks": 32,
+        }
+        assert model.entity_usage("cyclic_prefix").registers == 128
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(KeyError):
+            TransmitterResourceModel().entity_usage("mystery")
+
+    def test_report_totals_equal_table1(self):
+        report = TransmitterResourceModel().entity_report()
+        assert report.total().aluts == 33_423
+
+
+class TestTransmitterScaling:
+    def test_512_point_ifft_and_interleaver_grow_8x(self):
+        config = ResourceModelConfig(
+            fft_size=512, n_data_subcarriers=384, bits_per_subcarrier=4
+        )
+        model = TransmitterResourceModel(config)
+        reference = TransmitterResourceModel()
+        assert model.entity_usage("ifft").aluts == 8 * reference.entity_usage("ifft").aluts
+        assert (
+            model.entity_usage("block_interleaver").aluts
+            == 8 * reference.entity_usage("block_interleaver").aluts
+        )
+
+    def test_512_point_memory_grows_about_8x(self):
+        config = ResourceModelConfig(
+            fft_size=512, n_data_subcarriers=384, bits_per_subcarrier=4
+        )
+        ratio = (
+            TransmitterResourceModel(config).system_totals().memory_bits
+            / TransmitterResourceModel().system_totals().memory_bits
+        )
+        assert ratio == pytest.approx(8.0, rel=0.05)
+
+    def test_single_channel_encoder_quarter_size(self):
+        config = ResourceModelConfig(n_channels=1)
+        assert TransmitterResourceModel(config).entity_usage("conv_encoder").aluts == 8
+
+    def test_64qam_interleaver_grows_with_block_size(self):
+        config = ResourceModelConfig(bits_per_subcarrier=6)
+        model = TransmitterResourceModel(config)
+        assert (
+            model.entity_usage("block_interleaver").aluts
+            == round(28_016 * 288 / 192)
+        )
+
+
+class TestReceiverTable3:
+    def test_totals_match_paper(self):
+        totals = ReceiverResourceModel().system_totals()
+        assert totals.aluts == 183_957
+        assert totals.registers == 173_335
+        assert totals.memory_bits == 367_060
+        assert totals.dsp_blocks == 896
+
+    def test_utilization_matches_paper_percentages(self):
+        utilization = ReceiverResourceModel().utilization(STRATIX_IV_DEVICE)
+        assert utilization["aluts"] == pytest.approx(43.2, abs=0.2)
+        assert utilization["registers"] == pytest.approx(40.7, abs=0.2)
+        assert utilization["memory_bits"] == pytest.approx(1.72, abs=0.05)
+        assert utilization["dsp_blocks"] == pytest.approx(87.5, abs=0.1)
+
+
+class TestReceiverTable4:
+    def test_entity_values_match_paper(self):
+        model = ReceiverResourceModel()
+        expected = {
+            "block_deinterleaver": (13_772, 1_772, 0, 0),
+            "fft": (3_196, 9_650, 10_736, 64),
+            "time_synchroniser": (3_557, 8_983, 0, 128),
+            "viterbi_decoder": (5_028, 2_848, 18_460, 0),
+            "r_matrix_inverse": (55_431, 31_711, 6_226, 56),
+            "mimo_decoder": (1_036, 768, 0, 128),
+            "qr_decomposition": (101_697, 109_447, 322, 248),
+            "qr_multiplier": (1_368, 1_169, 0, 256),
+        }
+        for entity, (aluts, registers, memory_bits, dsp) in expected.items():
+            usage = model.entity_usage(entity)
+            assert usage.aluts == aluts, entity
+            assert usage.registers == registers, entity
+            assert usage.memory_bits == memory_bits, entity
+            assert usage.dsp_blocks == dsp, entity
+
+    def test_channel_estimation_share_matches_paper_claim(self):
+        share = ReceiverResourceModel().channel_estimation_share()
+        # Paper: "account for 86% of the ALUTS and 77% of the DSP multipliers".
+        assert share["aluts"] == pytest.approx(0.86, abs=0.01)
+        assert share["dsp_blocks"] == pytest.approx(0.77, abs=0.01)
+
+    def test_time_sync_dsp_count_is_128_multipliers(self):
+        assert ReceiverResourceModel().entity_usage("time_synchroniser").dsp_blocks == 128
+
+    def test_qr_multiplier_uses_256_multipliers(self):
+        # 4x4 complex matrix multiply = 64 complex = 256 real multipliers.
+        assert ReceiverResourceModel().entity_usage("qr_multiplier").dsp_blocks == 256
+
+
+class TestReceiverScaling:
+    def test_channel_estimation_constant_with_fft_size(self):
+        config = ResourceModelConfig(
+            fft_size=512, n_data_subcarriers=384, bits_per_subcarrier=4
+        )
+        model = ReceiverResourceModel(config)
+        reference = ReceiverResourceModel()
+        for entity in ReceiverResourceModel.CHANNEL_ESTIMATION_ENTITIES:
+            assert model.entity_usage(entity) == reference.entity_usage(entity)
+
+    def test_512_point_memory_grows_roughly_8x(self):
+        config = ResourceModelConfig(
+            fft_size=512, n_data_subcarriers=384, bits_per_subcarrier=4
+        )
+        ratio = (
+            ReceiverResourceModel(config).system_totals().memory_bits
+            / ReceiverResourceModel().system_totals().memory_bits
+        )
+        assert 7.0 <= ratio <= 8.5
+
+    def test_wider_correlator_costs_more_multipliers(self):
+        config = ResourceModelConfig(correlator_window=64)
+        assert ReceiverResourceModel(config).entity_usage("time_synchroniser").dsp_blocks == 256
+
+    def test_2x2_system_needs_fewer_qrd_resources(self):
+        config = ResourceModelConfig(n_rx=2, n_tx=2, n_channels=2)
+        model = ReceiverResourceModel(config)
+        assert (
+            model.entity_usage("qr_decomposition").aluts
+            < ReceiverResourceModel().entity_usage("qr_decomposition").aluts
+        )
+
+    def test_rx_fits_on_device_even_at_512(self):
+        # The paper argues there is plenty of memory for the 512-point system.
+        config = ResourceModelConfig(
+            fft_size=512, n_data_subcarriers=384, bits_per_subcarrier=4
+        )
+        utilization = ReceiverResourceModel(config).utilization(STRATIX_IV_DEVICE)
+        assert utilization["memory_bits"] < 100.0

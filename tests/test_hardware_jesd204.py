@@ -1,0 +1,58 @@
+"""Tests for repro.hardware.jesd204."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.fixedpoint import FixedPointFormat
+from repro.hardware.jesd204 import Jesd204Framer
+
+
+class TestFraming:
+    def test_pack_unpack_roundtrip(self):
+        framer = Jesd204Framer(n_lanes=4, octets_per_frame=32)
+        rng = np.random.default_rng(0)
+        samples = 0.5 * (rng.normal(size=(4, 64)) + 1j * rng.normal(size=(4, 64)))
+        framed = framer.pack(samples)
+        recovered = framer.unpack(framed)
+        quantised = framer.sample_format.quantize_complex(samples)
+        np.testing.assert_allclose(recovered[:, :64], quantised, atol=1e-12)
+
+    def test_frame_count_and_size(self):
+        framer = Jesd204Framer(n_lanes=2, octets_per_frame=16)
+        samples = np.zeros((2, 10), dtype=complex)
+        framed = framer.pack(samples)
+        # 16 octets = 4 samples/frame, 10 samples -> 3 frames per lane.
+        assert len(framed) == 2
+        assert len(framed[0]) == 3
+        assert all(len(frame.octets) == 16 for frame in framed[0])
+
+    def test_negative_values_survive_packing(self):
+        framer = Jesd204Framer(n_lanes=1, octets_per_frame=4)
+        samples = np.array([[-0.75 - 0.25j]])
+        recovered = framer.unpack(framer.pack(samples))
+        assert recovered[0, 0].real == pytest.approx(-0.75, abs=1e-4)
+        assert recovered[0, 0].imag == pytest.approx(-0.25, abs=1e-4)
+
+    def test_lane_count_validation(self):
+        framer = Jesd204Framer(n_lanes=4)
+        with pytest.raises(ValueError):
+            framer.pack(np.zeros((2, 8), dtype=complex))
+        with pytest.raises(ValueError):
+            framer.unpack([[]])
+
+    def test_octets_per_frame_must_be_multiple_of_four(self):
+        with pytest.raises(ValueError):
+            Jesd204Framer(octets_per_frame=10)
+
+    def test_requires_16_bit_format(self):
+        with pytest.raises(ValueError):
+            Jesd204Framer(sample_format=FixedPointFormat(word_length=12, frac_bits=10))
+
+    def test_line_rate(self):
+        framer = Jesd204Framer()
+        # 100 MS/s x 32 bits x 1.25 (8b/10b) = 4 Gbps per lane.
+        assert framer.line_rate_bps(100e6) == pytest.approx(4e9)
+
+    def test_line_rate_validation(self):
+        with pytest.raises(ValueError):
+            Jesd204Framer().line_rate_bps(0)

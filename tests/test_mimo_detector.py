@@ -1,0 +1,88 @@
+"""Tests for repro.mimo.detector."""
+
+import numpy as np
+import pytest
+
+from repro.mimo.channel_estimation import ChannelEstimate, invert_channel_matrices
+from repro.mimo.detector import MmseDetector, ZeroForcingDetector, zf_detect
+
+
+def _make_estimate(fft_size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    matrices = rng.normal(size=(fft_size, 4, 4)) + 1j * rng.normal(size=(fft_size, 4, 4))
+    inverses = invert_channel_matrices(matrices)
+    mask = np.ones(fft_size, dtype=bool)
+    return ChannelEstimate(matrices=matrices, inverses=inverses, active_mask=mask), rng
+
+
+class TestZfDetect:
+    def test_recovers_transmitted_vectors_noiselessly(self):
+        estimate, rng = _make_estimate()
+        x = rng.normal(size=(4, 16)) + 1j * rng.normal(size=(4, 16))
+        y = np.einsum("kij,jk->ik", estimate.matrices, x)
+        recovered = zf_detect(y, estimate.inverses)
+        np.testing.assert_allclose(recovered, x, atol=1e-9)
+
+    def test_shape_validation(self):
+        estimate, _ = _make_estimate()
+        with pytest.raises(ValueError):
+            zf_detect(np.zeros((4, 8)), estimate.inverses)
+        with pytest.raises(ValueError):
+            zf_detect(np.zeros(16), estimate.inverses)
+
+    def test_detector_class_wraps_estimate(self):
+        estimate, rng = _make_estimate(seed=1)
+        detector = ZeroForcingDetector(estimate)
+        x = rng.normal(size=(4, 16)) + 1j * rng.normal(size=(4, 16))
+        y = np.einsum("kij,jk->ik", estimate.matrices, x)
+        np.testing.assert_allclose(detector.detect(y), x, atol=1e-9)
+
+    def test_noise_enhancement_positive_on_active_subcarriers(self):
+        estimate, _ = _make_estimate(seed=2)
+        enhancement = ZeroForcingDetector(estimate).noise_enhancement()
+        assert enhancement.shape == (16,)
+        assert np.all(enhancement > 0)
+
+    def test_noise_enhancement_is_one_for_identity_channel(self):
+        matrices = np.broadcast_to(np.eye(4, dtype=complex), (8, 4, 4)).copy()
+        estimate = ChannelEstimate(
+            matrices=matrices,
+            inverses=matrices.copy(),
+            active_mask=np.ones(8, dtype=bool),
+        )
+        enhancement = ZeroForcingDetector(estimate).noise_enhancement()
+        np.testing.assert_allclose(enhancement, 1.0)
+
+
+class TestMmseDetector:
+    def test_reduces_to_zf_at_zero_noise(self):
+        estimate, rng = _make_estimate(seed=3)
+        x = rng.normal(size=(4, 16)) + 1j * rng.normal(size=(4, 16))
+        y = np.einsum("kij,jk->ik", estimate.matrices, x)
+        mmse = MmseDetector(estimate, noise_variance=0.0)
+        np.testing.assert_allclose(mmse.detect(y), x, atol=1e-8)
+
+    def test_lower_mse_than_zf_at_low_snr(self):
+        estimate, rng = _make_estimate(seed=4)
+        noise_variance = 0.5
+        x = (rng.integers(0, 2, size=(4, 16)) * 2 - 1).astype(complex)
+        noise = np.sqrt(noise_variance / 2) * (
+            rng.normal(size=(4, 16)) + 1j * rng.normal(size=(4, 16))
+        )
+        y = np.einsum("kij,jk->ik", estimate.matrices, x) + noise
+        zf_error = np.mean(np.abs(ZeroForcingDetector(estimate).detect(y) - x) ** 2)
+        mmse_error = np.mean(
+            np.abs(MmseDetector(estimate, noise_variance).detect(y) - x) ** 2
+        )
+        assert mmse_error < zf_error
+
+    def test_negative_noise_variance_rejected(self):
+        estimate, _ = _make_estimate(seed=5)
+        with pytest.raises(ValueError):
+            MmseDetector(estimate, noise_variance=-1.0)
+
+    def test_shape_validation(self):
+        estimate, _ = _make_estimate(seed=6)
+        detector = MmseDetector(estimate, noise_variance=0.1)
+        with pytest.raises(ValueError):
+            detector.detect(np.zeros((4, 8)))

@@ -1,0 +1,88 @@
+"""Tests for repro.rtl.scheduler — the channel-matrix read scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.rtl.scheduler import ChannelMatrixScheduler
+
+
+class TestSchedulerStructure:
+    def test_memory_count(self):
+        assert ChannelMatrixScheduler().n_memories == 16
+
+    def test_validate_passes_for_default(self):
+        ChannelMatrixScheduler(n_antennas=4, n_subcarriers=52, burst_length=20).validate()
+
+    def test_validate_passes_for_non_multiple_subcarriers(self):
+        # 52 occupied subcarriers is not a multiple of the burst length 20;
+        # the final pass is simply shorter.
+        ChannelMatrixScheduler(n_subcarriers=52).validate()
+        ChannelMatrixScheduler(n_subcarriers=64).validate()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChannelMatrixScheduler(n_antennas=0)
+        with pytest.raises(ValueError):
+            ChannelMatrixScheduler(n_subcarriers=0)
+        with pytest.raises(ValueError):
+            ChannelMatrixScheduler(burst_length=0)
+
+
+class TestColumnSchedules:
+    def test_first_reads_follow_paper_description(self):
+        # "Initially data is only read from H00 memory and input to the first
+        #  column of the QRD array. The first 20 addresses are read in..."
+        scheduler = ChannelMatrixScheduler(n_subcarriers=64)
+        reads = list(scheduler.column_schedule(0))[:21]
+        for read in reads[:20]:
+            assert (read.memory_row, read.memory_col) == (0, 0)
+        assert reads[0].subcarrier == 0
+        assert reads[19].subcarrier == 19
+        # On the next access the column moves to H01.
+        assert (reads[20].memory_row, reads[20].memory_col) == (0, 1)
+
+    def test_column_one_starts_one_cycle_later_on_h10(self):
+        scheduler = ChannelMatrixScheduler(n_subcarriers=64)
+        column1 = list(scheduler.column_schedule(1))
+        assert column1[0].cycle == 1
+        assert (column1[0].memory_row, column1[0].memory_col) == (1, 0)
+
+    def test_init_pulse_on_wraparound(self):
+        scheduler = ChannelMatrixScheduler(n_subcarriers=64)
+        reads = list(scheduler.column_schedule(0))
+        init_reads = [read for read in reads if read.init]
+        # One init per pass (every time the column wraps back to its first memory).
+        assert len(init_reads) == scheduler._passes_per_column()
+        assert init_reads[0].cycle == 0
+        # The second init happens after all 16 memories streamed 20 addresses.
+        assert init_reads[1].cycle == 16 * 20
+
+    def test_every_word_read_exactly_once(self):
+        scheduler = ChannelMatrixScheduler(n_antennas=4, n_subcarriers=52)
+        for column in range(4):
+            words = [(r.memory_row, r.memory_col, r.subcarrier) for r in scheduler.column_schedule(column)]
+            assert len(words) == len(set(words)) == 16 * 52
+
+    def test_out_of_range_column(self):
+        with pytest.raises(ValueError):
+            list(ChannelMatrixScheduler().column_schedule(4))
+
+
+class TestFullSchedule:
+    def test_sorted_by_cycle(self):
+        scheduler = ChannelMatrixScheduler(n_subcarriers=40)
+        schedule = scheduler.full_schedule()
+        cycles = [read.cycle for read in schedule]
+        assert cycles == sorted(cycles)
+
+    def test_total_cycles_accounts_for_column_stagger(self):
+        scheduler = ChannelMatrixScheduler(n_subcarriers=64)
+        single_column_reads = 16 * 20 * scheduler._passes_per_column()
+        assert scheduler.total_schedule_cycles() == single_column_reads + 3
+
+    def test_no_more_than_n_reads_per_cycle(self):
+        scheduler = ChannelMatrixScheduler(n_subcarriers=40)
+        schedule = scheduler.full_schedule()
+        cycles = np.array([read.cycle for read in schedule])
+        _, counts = np.unique(cycles, return_counts=True)
+        assert counts.max() <= 4

@@ -1,0 +1,121 @@
+"""Tests for repro.sync.cfo — the preamble-based CFO estimator extension."""
+
+import numpy as np
+import pytest
+
+from repro.channel.awgn import add_awgn
+from repro.channel.impairments import apply_carrier_frequency_offset
+from repro.core.config import TransceiverConfig
+from repro.core.preamble import PreambleGenerator
+from repro.core.transceiver import simulate_link
+from repro.channel.fading import FlatRayleighChannel
+from repro.channel.model import MimoChannel
+from repro.exceptions import SynchronizationError
+from repro.sync.cfo import (
+    CfoEstimator,
+    apply_cfo_correction,
+    estimate_cfo_from_repetition,
+)
+
+
+@pytest.fixture
+def preamble_waveform():
+    return PreambleGenerator(64).mimo_preamble(4)
+
+
+class TestRepetitionEstimator:
+    def test_zero_cfo(self, preamble_waveform):
+        cfo = estimate_cfo_from_repetition(preamble_waveform[0], period=16, start=16, n_periods=8)
+        assert cfo == pytest.approx(0.0, abs=1e-12)
+
+    @pytest.mark.parametrize("true_cfo", [-0.02, -0.005, 0.001, 0.01, 0.025])
+    def test_recovers_applied_cfo_from_sts(self, preamble_waveform, true_cfo):
+        shifted = apply_carrier_frequency_offset(preamble_waveform, true_cfo)
+        measured = estimate_cfo_from_repetition(shifted[0], period=16, start=16, n_periods=8)
+        assert measured == pytest.approx(true_cfo, abs=1e-6)
+
+    def test_multi_antenna_combining(self, preamble_waveform):
+        shifted = apply_carrier_frequency_offset(preamble_waveform, 0.003)
+        measured = estimate_cfo_from_repetition(shifted, period=64, start=192, n_periods=2)
+        assert measured == pytest.approx(0.003, abs=1e-6)
+
+    def test_bounds_checked(self, preamble_waveform):
+        with pytest.raises(SynchronizationError):
+            estimate_cfo_from_repetition(preamble_waveform[0], period=64, start=700, n_periods=4)
+        with pytest.raises(ValueError):
+            estimate_cfo_from_repetition(preamble_waveform[0], period=0, start=0, n_periods=2)
+        with pytest.raises(ValueError):
+            estimate_cfo_from_repetition(preamble_waveform[0], period=16, start=0, n_periods=1)
+
+    def test_zero_signal_returns_zero(self):
+        assert estimate_cfo_from_repetition(np.zeros(200, dtype=complex), 16, 0, 4) == 0.0
+
+
+class TestCfoEstimator:
+    @pytest.mark.parametrize("true_cfo", [1e-4, 1e-3, 5e-3, 1.5e-2])
+    def test_combined_estimate_accuracy(self, preamble_waveform, true_cfo):
+        estimator = CfoEstimator(64)
+        shifted = apply_carrier_frequency_offset(preamble_waveform, true_cfo)
+        estimate = estimator.estimate(shifted, lts_start=160)
+        assert estimate.combined == pytest.approx(true_cfo, abs=1e-5)
+
+    def test_accuracy_with_noise(self, preamble_waveform):
+        estimator = CfoEstimator(64)
+        shifted = apply_carrier_frequency_offset(preamble_waveform, 2e-3)
+        noisy = add_awgn(shifted, 20.0, rng=1)
+        estimate = estimator.estimate(noisy, lts_start=160)
+        assert estimate.combined == pytest.approx(2e-3, abs=2e-4)
+
+    def test_ranges(self):
+        estimator = CfoEstimator(64)
+        assert estimator.coarse_range == pytest.approx(1 / 32)
+        assert estimator.fine_range == pytest.approx(1 / 128)
+        assert estimator.coarse_range > estimator.fine_range
+
+    def test_correction_restores_waveform(self, preamble_waveform):
+        estimator = CfoEstimator(64)
+        shifted = apply_carrier_frequency_offset(preamble_waveform, 4e-3)
+        estimate = estimator.estimate(shifted, lts_start=160)
+        corrected = estimator.correct(shifted, estimate)
+        np.testing.assert_allclose(corrected, preamble_waveform, atol=1e-6)
+
+    def test_in_hertz(self):
+        estimator = CfoEstimator(64)
+        shifted = apply_carrier_frequency_offset(PreambleGenerator(64).mimo_preamble(4), 1e-3)
+        estimate = estimator.estimate(shifted, lts_start=160)
+        assert estimate.in_hertz(100e6) == pytest.approx(100e3, rel=1e-3)
+
+    def test_apply_cfo_correction_inverse_of_impairment(self):
+        rng = np.random.default_rng(2)
+        samples = rng.normal(size=(4, 100)) + 1j * rng.normal(size=(4, 100))
+        shifted = apply_carrier_frequency_offset(samples, 0.007)
+        np.testing.assert_allclose(apply_cfo_correction(shifted, 0.007), samples, atol=1e-12)
+
+
+class TestReceiverIntegration:
+    def test_large_cfo_breaks_uncorrected_link(self):
+        channel = MimoChannel(
+            FlatRayleighChannel(rng=26), snr_db=35.0, rng=27, cfo_normalized=5e-3
+        )
+        stats = simulate_link(
+            TransceiverConfig(correct_cfo=False), channel, n_info_bits=200, n_bursts=1, rng=1
+        )
+        assert stats["bit_error_rate"] > 0.1
+
+    def test_cfo_correction_repairs_the_link(self):
+        channel = MimoChannel(
+            FlatRayleighChannel(rng=26), snr_db=35.0, rng=27, cfo_normalized=5e-3
+        )
+        stats = simulate_link(
+            TransceiverConfig(correct_cfo=True), channel, n_info_bits=200, n_bursts=1, rng=1
+        )
+        assert stats["bit_error_rate"] == 0.0
+
+    def test_estimated_cfo_reported_in_diagnostics(self):
+        from repro.core.transceiver import MimoTransceiver
+
+        channel = MimoChannel(snr_db=35.0, rng=28, cfo_normalized=3e-3)
+        transceiver = MimoTransceiver(TransceiverConfig(correct_cfo=True), channel=channel)
+        result = transceiver.run_burst(150, rng=2)
+        assert result.receive_result.diagnostics["estimated_cfo"] == pytest.approx(3e-3, abs=2e-4)
+        assert result.bit_errors == 0
