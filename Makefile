@@ -1,0 +1,27 @@
+# Development entry points for the repro package.
+#
+#   make test        - tier-1 test suite (tests/ + benchmarks/, fail fast)
+#   make test-fast   - unit tests only (skips the benchmark harness)
+#   make bench-smoke - quick benchmark pass: every claim/table/ablation once
+#   make docs-check  - fail if any public module lacks a module docstring
+#   make clean-cache - drop the repro.sim JSON result cache
+
+PYTHON ?= python
+PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test test-fast bench-smoke docs-check clean-cache
+
+test:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+test-fast:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests -q
+
+bench-smoke:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks -q --benchmark-disable
+
+docs-check:
+	$(PYTHON) tools/docs_check.py
+
+clean-cache:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -c "from repro.sim import JsonCache; print(JsonCache().clear(), 'entries removed')"

@@ -3,8 +3,9 @@
 The paper's synthesised configuration (16-QAM, rate 1/2) carries 480 Mbps;
 the 1 Gbps figure requires 64-QAM with rate-3/4 coding (1.08 Gbps), and the
 512-point OFDM variant sustains it as well.  This benchmark regenerates the
-throughput sweep across every modulation/code-rate pair and checks who
-crosses the 1 Gbps line.
+throughput sweep across every modulation/code-rate pair — enumerated through
+the :class:`repro.sim.SweepSpec` grid layer, the same typed description the
+link-level sweeps use — and checks who crosses the 1 Gbps line.
 """
 
 import pytest
@@ -13,6 +14,8 @@ from repro.coding.convolutional import CodeRate
 from repro.core.config import TransceiverConfig
 from repro.core.throughput import throughput_for_config, throughput_report
 from repro.modulation.constellations import Modulation
+from repro.sim import SweepSpec
+from repro.sim.engine import build_config
 
 #: (modulation, code rate) -> expected information rate in Gbps at 100 MHz.
 EXPECTED_RATES_GBPS = {
@@ -67,3 +70,34 @@ def test_claim_1gbps_throughput(benchmark, table_printer):
         TransceiverConfig(fft_size=512, modulation=Modulation.QAM64, code_rate=CodeRate.RATE_3_4)
     )
     assert large.info_bit_rate_bps >= 1e9
+
+
+@pytest.mark.benchmark(group="claim-throughput")
+def test_claim_throughput_via_sweep_grid(benchmark, table_printer):
+    """The same table, enumerated through the sweep engine's grid layer."""
+    spec = SweepSpec(
+        snr_db=(30.0,),
+        modulations=("bpsk", "qpsk", "16qam", "64qam"),
+        code_rates=("1/2", "2/3", "3/4"),
+    )
+
+    def _grid_rates():
+        return {
+            (point.modulation, point.code_rate): throughput_for_config(
+                build_config(point, spec)
+            ).info_bit_rate_bps
+            for point in spec.points()
+        }
+
+    rates = benchmark(_grid_rates)
+    assert len(rates) == len(EXPECTED_RATES_GBPS)
+    table_printer(
+        "Claim C1 via SweepSpec grid: every (modulation, rate) cell",
+        ["modulation", "rate", "Gbps", "expected"],
+        [
+            (m, r, f"{bps / 1e9:.3f}", EXPECTED_RATES_GBPS[(m, r)])
+            for (m, r), bps in sorted(rates.items())
+        ],
+    )
+    for cell, bps in rates.items():
+        assert bps / 1e9 == pytest.approx(EXPECTED_RATES_GBPS[cell], rel=1e-9)

@@ -6,35 +6,42 @@ implicit link-level evidence behind the design: the end-to-end chain
 (coding, interleaving, preamble, channel estimation, ZF detection, Viterbi)
 closes the link, BER falls monotonically with SNR, and denser constellations
 need more SNR — the qualitative shape any correct implementation must show.
+
+Both curves are produced by one :class:`repro.sim.SweepSpec` grid each,
+executed through :class:`repro.sim.SweepRunner` with the shared-fading mode
+(every SNR point and modulation sees the same channel realisation, the
+classic waterfall setup) and caching disabled so the benchmark always
+measures real simulation time.
 """
 
 import pytest
 
-from repro.channel.fading import FlatRayleighChannel
-from repro.channel.model import MimoChannel
-from repro.core.config import TransceiverConfig
-from repro.core.transceiver import simulate_link
+from repro.sim import SweepRunner, SweepSpec
 
-SNR_POINTS_DB = [6.0, 14.0, 22.0, 30.0]
+SNR_POINTS_DB = (6.0, 14.0, 22.0, 30.0)
 N_INFO_BITS = 300
 N_BURSTS = 2
+BASE_SEED = 404
 
 
-def _ber_curve(modulation: str) -> dict:
-    config = TransceiverConfig(modulation=modulation)
-    curve = {}
-    for snr_db in SNR_POINTS_DB:
-        channel = MimoChannel(FlatRayleighChannel(rng=400), snr_db=snr_db, rng=401)
-        stats = simulate_link(
-            config, channel, n_info_bits=N_INFO_BITS, n_bursts=N_BURSTS, rng=402
-        )
-        curve[snr_db] = stats["bit_error_rate"]
-    return curve
+def _sweep(modulations):
+    spec = SweepSpec(
+        snr_db=SNR_POINTS_DB,
+        modulations=modulations,
+        channels=("flat_rayleigh",),
+        n_info_bits=N_INFO_BITS,
+        n_bursts=N_BURSTS,
+        target_errors=None,
+        fresh_fading_per_burst=False,
+        base_seed=BASE_SEED,
+    )
+    return SweepRunner(spec, n_workers=1, cache=False).run()
 
 
 @pytest.mark.benchmark(group="link-ber")
 def test_link_ber_16qam(benchmark, table_printer):
-    curve = benchmark.pedantic(_ber_curve, args=("16qam",), rounds=1, iterations=1)
+    result = benchmark.pedantic(_sweep, args=(("16qam",),), rounds=1, iterations=1)
+    curve = result.ber_curve(modulation="16qam")
     table_printer(
         "Link BER vs SNR — 16-QAM rate 1/2 (paper's synthesised configuration)",
         ["SNR (dB)", "BER"],
@@ -49,10 +56,11 @@ def test_link_ber_16qam(benchmark, table_printer):
 
 @pytest.mark.benchmark(group="link-ber")
 def test_link_ber_qpsk_vs_64qam(benchmark, table_printer):
-    def _both():
-        return _ber_curve("qpsk"), _ber_curve("64qam")
-
-    qpsk, qam64 = benchmark.pedantic(_both, rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        _sweep, args=(("qpsk", "64qam"),), rounds=1, iterations=1
+    )
+    qpsk = result.ber_curve(modulation="qpsk")
+    qam64 = result.ber_curve(modulation="64qam")
     table_printer(
         "Link BER vs SNR — QPSK vs 64-QAM (rate 1/2, flat Rayleigh)",
         ["SNR (dB)", "QPSK BER", "64-QAM BER"],

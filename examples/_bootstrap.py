@@ -1,0 +1,15 @@
+"""Make the in-tree ``repro`` package importable when it is not installed.
+
+Every example script imports this module for its side effect, so
+``python examples/<script>.py`` works from a clean checkout without
+setting ``PYTHONPATH=src`` (and keeps working unchanged when the package
+*is* installed).
+"""
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401 -- probe whether the package is importable
+except ImportError:  # clean checkout: fall back to the in-tree sources
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))

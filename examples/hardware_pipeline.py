@@ -1,6 +1,10 @@
 #!/usr/bin/env python
 """Hardware-structure walkthrough: the blocks of Figs. 1, 4, 5, 6-8.
 
+Reproduces: the paper's block-level hardware story — Fig. 4's transmit
+pipeline, Fig. 5's receive front end, Figs. 6-8's CORDIC systolic QRD array
+with its 440-cycle latency, and the channel-matrix memory schedule.
+
 Runs the structural (RTL-level) models instead of the functional ones:
 
 * streams coded bits through the ping-pong interleaver / mapper-ROM /
@@ -13,14 +17,19 @@ Runs the structural (RTL-level) models instead of the functional ones:
 * prints the receive-pipeline latency breakdown and the FIFO depth needed
   to buffer data while channel estimation completes.
 
-Run with::
+Run from a clean checkout with::
 
-    python examples/hardware_pipeline.py
+    PYTHONPATH=src python examples/hardware_pipeline.py
+
+(The PYTHONPATH prefix is optional; the script falls back to the in-tree
+``src`` directory when ``repro`` is not installed.)
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+import _bootstrap  # noqa: F401 -- makes the in-tree repro package importable
 
 from repro import TransceiverConfig
 from repro.core.transmitter import MimoTransmitter

@@ -1,18 +1,24 @@
 #!/usr/bin/env python
 """Quickstart: run one 4x4 MIMO-OFDM burst end to end.
 
-Builds the paper's synthesised configuration (4x4, 16-QAM, 64-point OFDM,
-rate-1/2 coding at 100 MHz), pushes a random payload through a flat Rayleigh
-channel with AWGN, and decodes it — printing what every stage recovered.
+Reproduces: the paper's synthesised operating point — the 4x4, 16-QAM,
+64-point OFDM, rate-1/2, 100 MHz configuration of Tables 1-4 running the
+Fig. 4 transmit and Fig. 5 receive datapaths — on one burst, printing what
+every stage recovered.
 
-Run with::
+Run from a clean checkout with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
+
+(The PYTHONPATH prefix is optional; the script falls back to the in-tree
+``src`` directory when ``repro`` is not installed.)
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+import _bootstrap  # noqa: F401 -- makes the in-tree repro package importable
 
 from repro import MimoChannel, MimoTransceiver, TransceiverConfig
 from repro.channel import FlatRayleighChannel

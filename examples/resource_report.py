@@ -1,16 +1,23 @@
 #!/usr/bin/env python
 """FPGA resource report: regenerate Tables 1-4 and the 512-point projection.
 
-Prints the calibrated resource model's output in the same shape as the
-paper's synthesis tables, the channel-estimation share observation, and the
-scaling projection for a 512-point OFDM build.
+Reproduces: Table 1 (transmitter synthesis), Table 2 (transmitter by
+entity), Table 3 (receiver synthesis), Table 4 (receiver by entity), the
+"channel estimation dominates" observation of Section IV, and Section V's
+512-point OFDM scaling projection — printed in the same shape as the
+paper's synthesis tables.
 
-Run with::
+Run from a clean checkout with::
 
-    python examples/resource_report.py
+    PYTHONPATH=src python examples/resource_report.py
+
+(The PYTHONPATH prefix is optional; the script falls back to the in-tree
+``src`` directory when ``repro`` is not installed.)
 """
 
 from __future__ import annotations
+
+import _bootstrap  # noqa: F401 -- makes the in-tree repro package importable
 
 from repro.hardware.estimator import (
     ReceiverResourceModel,

@@ -27,8 +27,9 @@ from repro.core.transceiver import LinkSimulationResult, MimoTransceiver, simula
 from repro.core.transmitter import MimoTransmitter
 from repro.hardware.estimator import ReceiverResourceModel, TransmitterResourceModel
 from repro.modulation.constellations import Modulation
+from repro.sim import SweepResult, SweepRunner, SweepSpec, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CodeRate",
@@ -43,6 +44,10 @@ __all__ = [
     "MimoTransceiver",
     "LinkSimulationResult",
     "simulate_link",
+    "SweepSpec",
+    "SweepResult",
+    "SweepRunner",
+    "run_sweep",
     "throughput_for_config",
     "throughput_report",
     "TransmitterResourceModel",

@@ -5,6 +5,15 @@ channel (Table 4 lists its resource cost).  The decoder here supports the
 same generic :class:`~repro.coding.convolutional.ConvolutionalCode` the
 encoder uses, hard- or soft-decision branch metrics, and depuncturing of the
 802.11a punctured rates.
+
+Two add-compare-select implementations are provided: a fully vectorised
+path (the default, used by the :mod:`repro.sim` sweep engine's hot loop)
+that resolves every trellis step with a handful of NumPy gather/argmin
+operations over a precomputed predecessor table, and the original
+per-branch scalar path kept as the reference the agreement tests in
+``tests/test_hot_path_agreement.py`` validate against.  Both paths are
+bit-exact: they evaluate the identical ``metric + branch`` floating-point
+expressions and break ties toward the smaller ``(state, bit)`` flat index.
 """
 
 from __future__ import annotations
@@ -36,6 +45,11 @@ class ViterbiDecoder:
         Kept for API completeness / resource modelling; this software decoder
         always runs full-block traceback, which upper-bounds the hardware's
         windowed traceback performance.
+    vectorized:
+        Use the NumPy-vectorised add-compare-select path (default).  The
+        scalar path is retained for the bit-exact agreement tests and for
+        exotic codes whose trellis is not uniform (a different number of
+        branches into each state).
     """
 
     def __init__(
@@ -43,17 +57,37 @@ class ViterbiDecoder:
         code: Optional[ConvolutionalCode] = None,
         decision: str = "hard",
         traceback_length: int = 96,
+        vectorized: bool = True,
     ) -> None:
         if decision not in ("hard", "soft"):
             raise ValueError("decision must be 'hard' or 'soft'")
         self.code = code if code is not None else ConvolutionalCode.ieee80211a()
         self.decision = decision
         self.traceback_length = traceback_length
+        self.vectorized = vectorized
         self._next_states, self._outputs = self.code.build_trellis()
         n = self.code.n_outputs
         # outputs unpacked to individual bits, shape (n_states, 2, n_outputs)
         shifts = np.arange(n - 1, -1, -1)
         self._output_bits = ((self._outputs[..., None] >> shifts) & 1).astype(np.float64)
+        self._predecessors = self._build_predecessor_table()
+
+    def _build_predecessor_table(self) -> Optional[np.ndarray]:
+        """Flat ``(state, bit)`` indices feeding each next state.
+
+        Row ``ns`` lists every flat index ``prev * 2 + bit`` whose branch
+        lands in state ``ns``, sorted ascending so that ``argmin`` (which
+        returns the first minimum) reproduces the scalar path's stable
+        tie-break toward the smaller flat index.  Returns ``None`` when the
+        trellis is not uniform, in which case decoding falls back to the
+        scalar path.
+        """
+        flat_next = self._next_states.ravel()
+        counts = np.bincount(flat_next, minlength=self.code.n_states)
+        if counts.min() == 0 or counts.min() != counts.max():
+            return None
+        order = np.argsort(flat_next, kind="stable")
+        return order.reshape(self.code.n_states, counts[0])
 
     # ------------------------------------------------------------------
     # depuncturing
@@ -83,26 +117,24 @@ class ViterbiDecoder:
         period = self.code.puncture_period
         n_out = self.code.n_outputs
         received = np.asarray(values, dtype=np.float64).ravel()
-        full = np.zeros((n_input_bits, n_out), dtype=np.float64)
-        mask = np.zeros((n_input_bits, n_out), dtype=np.float64)
-        idx = 0
-        for step in range(n_input_bits):
-            column = step % period
-            for out in range(n_out):
-                if pattern[out, column]:
-                    if idx >= received.size:
-                        raise ValueError(
-                            "received stream too short for the requested block length"
-                        )
-                    full[step, out] = received[idx]
-                    mask[step, out] = 1.0
-                    idx += 1
-        if idx != received.size:
+        # Tile the puncture pattern across trellis steps; filling the boolean
+        # mask in C order (step-major, output-minor) reproduces exactly the
+        # transmission order the serial depuncturer consumed values in.
+        columns = np.arange(n_input_bits) % period
+        present = pattern[:, columns].T.astype(bool)
+        consumed = int(np.count_nonzero(present))
+        if received.size < consumed:
+            raise ValueError(
+                "received stream too short for the requested block length"
+            )
+        if received.size > consumed:
             raise ValueError(
                 f"received stream has {received.size} values but the block "
-                f"consumes {idx}"
+                f"consumes {consumed}"
             )
-        return full, mask
+        full = np.zeros((n_input_bits, n_out), dtype=np.float64)
+        full[present] = received
+        return full, present.astype(np.float64)
 
     # ------------------------------------------------------------------
     # branch metrics
@@ -123,6 +155,22 @@ class ViterbiDecoder:
         # Metric = sum over outputs of (bit ? +LLR : -LLR), lower better.
         signs = 1.0 - 2.0 * self._output_bits  # bit0 -> +1, bit1 -> -1
         return -(signs * (observation * mask)[None, None, :]).sum(axis=-1)
+
+    def _branch_metrics_block(
+        self, observations: np.ndarray, mask: np.ndarray
+    ) -> np.ndarray:
+        """Branch metrics for every trellis step at once.
+
+        ``observations`` and ``mask`` have shape ``(n_steps, n_outputs)``;
+        the result has shape ``(n_steps, n_states, 2)``.  The arithmetic is
+        the per-step :meth:`_branch_metrics` expression broadcast over steps,
+        so the two are bit-identical.
+        """
+        if self.decision == "hard":
+            diff = np.abs(self._output_bits[None] - observations[:, None, None, :])
+            return (diff * mask[:, None, None, :]).sum(axis=-1)
+        signs = 1.0 - 2.0 * self._output_bits
+        return -(signs[None] * (observations * mask)[:, None, None, :]).sum(axis=-1)
 
     # ------------------------------------------------------------------
     # decoding
@@ -167,6 +215,65 @@ class ViterbiDecoder:
 
         observations, mask = self.depuncture(values, n_steps)
 
+        if self.vectorized and self._predecessors is not None:
+            metrics, survivors, survivor_bits = self._acs_vectorized(
+                observations, mask
+            )
+        else:
+            metrics, survivors, survivor_bits = self._acs_scalar(observations, mask)
+
+        end_state = 0 if terminated else int(np.argmin(metrics))
+        decoded = np.zeros(n_steps, dtype=np.uint8)
+        state = end_state
+        for step in range(n_steps - 1, -1, -1):
+            decoded[step] = survivor_bits[step, state]
+            state = survivors[step, state]
+        return decoded[:n_info_bits]
+
+    # ------------------------------------------------------------------
+    # add-compare-select
+    # ------------------------------------------------------------------
+    def _acs_vectorized(
+        self, observations: np.ndarray, mask: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised ACS recursion over the whole block.
+
+        The per-step work is a gather of each state's incoming candidate
+        metrics through the precomputed predecessor table followed by a
+        row-wise ``argmin`` — no Python loop over states or branches.
+        ``argmin`` returns the first minimum and the predecessor rows are
+        sorted by flat ``(state, bit)`` index, matching the scalar path's
+        stable tie-break exactly.
+        """
+        n_steps = observations.shape[0]
+        n_states = self.code.n_states
+        predecessors = self._predecessors
+        rows = np.arange(n_states)
+        branch_all = self._branch_metrics_block(observations, mask)
+
+        metrics = np.full(n_states, _METRIC_INF)
+        metrics[0] = 0.0
+        survivors = np.zeros((n_steps, n_states), dtype=np.int64)
+        survivor_bits = np.zeros((n_steps, n_states), dtype=np.uint8)
+        for step in range(n_steps):
+            candidate = metrics[:, None] + branch_all[step]  # (state, bit)
+            contenders = candidate.ravel()[predecessors]  # (state, n_branches)
+            choice = np.argmin(contenders, axis=1)
+            winners = predecessors[rows, choice]
+            metrics = contenders[rows, choice]
+            survivors[step] = winners >> 1
+            survivor_bits[step] = (winners & 1).astype(np.uint8)
+        return metrics, survivors, survivor_bits
+
+    def _acs_scalar(
+        self, observations: np.ndarray, mask: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Reference per-branch ACS (the original implementation).
+
+        Kept as the ground truth for the vectorised path's agreement tests
+        and as the fallback for non-uniform trellises.
+        """
+        n_steps = observations.shape[0]
         n_states = self.code.n_states
         metrics = np.full(n_states, _METRIC_INF)
         metrics[0] = 0.0
@@ -197,11 +304,4 @@ class ViterbiDecoder:
             metrics = new_metrics
             survivors[step] = best_prev
             survivor_bits[step] = best_bit
-
-        end_state = 0 if terminated else int(np.argmin(metrics))
-        decoded = np.zeros(n_steps, dtype=np.uint8)
-        state = end_state
-        for step in range(n_steps - 1, -1, -1):
-            decoded[step] = survivor_bits[step, state]
-            state = survivors[step, state]
-        return decoded[:n_info_bits]
+        return metrics, survivors, survivor_bits

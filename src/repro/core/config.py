@@ -136,6 +136,11 @@ class TransceiverConfig:
     ``correct_cfo`` enables the preamble-based carrier-frequency-offset
     estimator (an extension beyond the paper, which relies on pilot phase
     correction alone); see :mod:`repro.sync.cfo`.
+
+    ``detector`` selects the MIMO detector: ``"zf"`` (the paper's
+    zero-forcing multiply-by-stored-inverse design) or ``"mmse"`` (the
+    textbook linear-MMSE baseline from :mod:`repro.mimo.detector`), which is
+    one of the sweep axes of the :mod:`repro.sim` engine.
     """
 
     n_antennas: int = 4
@@ -148,6 +153,7 @@ class TransceiverConfig:
     use_cordic_channel_inversion: bool = False
     scramble: bool = True
     correct_cfo: bool = False
+    detector: str = "zf"
 
     def __post_init__(self) -> None:
         if self.n_antennas <= 0:
@@ -161,6 +167,9 @@ class TransceiverConfig:
         # Normalise enum-ish fields so strings are accepted.
         object.__setattr__(self, "modulation", Modulation.from_any(self.modulation))
         object.__setattr__(self, "code_rate", CodeRate(self.code_rate))
+        object.__setattr__(self, "detector", str(self.detector).lower())
+        if self.detector not in ("zf", "mmse"):
+            raise ConfigurationError("detector must be 'zf' or 'mmse'")
 
     # ------------------------------------------------------------------
     @classmethod

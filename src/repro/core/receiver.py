@@ -3,9 +3,11 @@
 The receive datapath is: time synchronisation (sliding-window correlation
 against the stored STS/LTS transition), per-antenna FFT of the staggered LTS
 slots, per-subcarrier channel estimation and QRD-based matrix inversion,
-zero-forcing MIMO detection of every data OFDM symbol, pilot phase and
-feed-forward timing correction, symbol demapping (hard or soft), block
-de-interleaving, Viterbi decoding and descrambling.
+MIMO detection of every data OFDM symbol (zero-forcing as in the paper, or
+the MMSE baseline via ``TransceiverConfig.detector``), pilot phase and
+feed-forward timing correction, symbol demapping (hard or soft, batched
+over the whole burst), block de-interleaving, Viterbi decoding and
+descrambling.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from repro.core.preamble import PreambleGenerator
 from repro.dsp.fft import fft
 from repro.exceptions import ConfigurationError, DecodingError
 from repro.mimo.channel_estimation import ChannelEstimate, ChannelEstimator
-from repro.mimo.detector import zf_detect
+from repro.mimo.detector import MmseDetector, zf_detect
 from repro.modulation.demapper import SymbolDemapper
 from repro.sync.cfo import CfoEstimator
 from repro.sync.time_sync import TimeSynchronizer
@@ -147,18 +149,22 @@ class MimoReceiver:
         """Demap, de-interleave, Viterbi-decode and descramble one stream.
 
         ``equalized_symbols`` has shape ``(n_symbols, n_data_subcarriers)``.
+
+        The whole block is demapped in one batched call and every OFDM
+        symbol's bits are de-interleaved in one permutation pass — the bits
+        come out in exactly the per-symbol order the serial path produced.
         """
         n_cbps = self.config.coded_bits_per_symbol
         n_bpsc = self.config.bits_per_subcarrier
-        values: List[np.ndarray] = []
-        for n in range(equalized_symbols.shape[0]):
+        if equalized_symbols.shape[0] == 0:
+            received = np.zeros(0)
+        else:
             demapped = self.demapper.demap(
-                equalized_symbols[n],
+                equalized_symbols,
                 soft=self.config.soft_decision,
                 noise_variance=noise_variance,
             )
-            values.append(deinterleave(demapped, n_cbps, n_bpsc))
-        received = np.concatenate(values) if values else np.zeros(0)
+            received = deinterleave(demapped, n_cbps, n_bpsc)
 
         coded_length = self._encoder.coded_length(n_info_bits, terminate=True)
         if received.size < coded_length:
@@ -232,6 +238,13 @@ class MimoReceiver:
         if data_start + n_symbols * sps > streams.shape[1]:
             raise DecodingError("burst too short for the requested number of OFDM symbols")
 
+        if self.config.detector == "mmse":
+            mmse = MmseDetector(estimate, noise_variance)
+            detect = mmse.detect
+        else:
+            def detect(frequency: np.ndarray) -> np.ndarray:
+                return zf_detect(frequency, estimate.inverses)
+
         data_bins = list(self.numerology.data_bins)
         equalized = np.zeros(
             (n_tx, n_symbols, len(data_bins)), dtype=np.complex128
@@ -241,7 +254,7 @@ class MimoReceiver:
             start = max(data_start + n * sps + cp - self.timing_advance, 0)
             block = streams[:, start : start + fft_size]
             frequency = fft(block)
-            detected = zf_detect(frequency, estimate.inverses)
+            detected = detect(frequency)
             for stream in range(n_tx):
                 corrected, diag = self.pilots.correct(detected[stream], n)
                 pilot_phases.append(diag.common_phase)

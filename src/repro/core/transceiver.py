@@ -5,6 +5,13 @@ and a :class:`~repro.core.receiver.MimoReceiver` around a
 :class:`~repro.channel.model.MimoChannel`; :func:`simulate_link` runs a
 complete burst and reports BER/PER, which is what the link-level benchmarks
 and the BER-vs-SNR sweeps are built on.
+
+For whole grids (SNR x modulation x channel x detector) use the batched
+engine in :mod:`repro.sim` — worker pools, early stopping and result
+caching; see ``docs/simulation.md``.  ``simulate_link`` delegates to that
+engine's serial backbone (:func:`repro.sim.engine.simulate_point`), which
+runs the same burst physics but keeps the classic strict semantics: one
+RNG stream across bursts and decode failures raised, not counted.
 """
 
 from __future__ import annotations
@@ -72,6 +79,17 @@ class MimoTransceiver:
         if self.channel.n_tx != self.config.n_antennas:
             raise ValueError("channel antenna count does not match the configuration")
 
+    def set_channel(self, channel: MimoChannel) -> None:
+        """Swap the channel model between bursts.
+
+        The sweep engine reuses one transceiver (trellis, constellation and
+        preamble tables are expensive to rebuild) while giving every burst
+        a fresh fading realisation through this hook.
+        """
+        if channel.n_tx != self.config.n_antennas:
+            raise ValueError("channel antenna count does not match the configuration")
+        self.channel = channel
+
     def run_burst(
         self,
         n_info_bits: int,
@@ -137,31 +155,36 @@ def simulate_link(
     n_bursts: int = 1,
     rng: SeedLike = None,
     known_timing: bool = False,
+    target_errors: Optional[int] = None,
 ) -> dict:
-    """Run ``n_bursts`` bursts and aggregate BER/PER statistics.
+    """Run up to ``n_bursts`` bursts and aggregate BER/PER statistics.
+
+    A thin wrapper over the batched engine's serial backbone
+    (:func:`repro.sim.engine.simulate_point`) that keeps the classic
+    one-point API: a fixed channel, one RNG stream threaded through all
+    bursts.  For grids over SNR/modulation/channel/detector — with worker
+    pools, early stopping and caching — use :class:`repro.sim.SweepRunner`.
 
     Returns a dictionary with ``bit_error_rate``, ``packet_error_rate``,
-    ``total_bits`` and ``bit_errors`` keys, which the benchmarks print as the
-    rows of their tables.
+    ``total_bits``, ``bit_errors``, ``frame_errors``, ``n_bursts`` (bursts
+    actually run) and ``early_stopped`` keys, which the benchmarks print as
+    the rows of their tables.
+
+    Parameters
+    ----------
+    target_errors:
+        When set, stop simulating once this many bit errors have been
+        observed (the estimate's accuracy depends on the error count, not
+        the burst count); ``None`` always runs the full ``n_bursts``.
     """
-    if n_bursts <= 0:
-        raise ValueError("n_bursts must be positive")
-    generator = make_rng(rng)
+    from repro.sim.engine import simulate_point
+
     transceiver = MimoTransceiver(config=config, channel=channel)
-    bit_errors = 0
-    total_bits = 0
-    frame_errors = 0
-    for _ in range(n_bursts):
-        result = transceiver.run_burst(
-            n_info_bits, rng=generator, known_timing=known_timing
-        )
-        bit_errors += result.bit_errors
-        total_bits += result.total_bits
-        frame_errors += int(result.frame_error)
-    return {
-        "bit_error_rate": bit_errors / total_bits if total_bits else 0.0,
-        "packet_error_rate": frame_errors / n_bursts,
-        "total_bits": total_bits,
-        "bit_errors": bit_errors,
-        "n_bursts": n_bursts,
-    }
+    return simulate_point(
+        transceiver,
+        n_info_bits=n_info_bits,
+        n_bursts=n_bursts,
+        rng=rng,
+        known_timing=known_timing,
+        target_errors=target_errors,
+    )

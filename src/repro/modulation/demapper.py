@@ -1,4 +1,4 @@
-"""Hard and soft symbol demapper.
+"""Hard and soft symbol demapper (batched).
 
 The paper's symbol demapper is a decoder-multiplexer structure that can be
 configured for hard or soft demapping; soft outputs are carried through the
@@ -8,6 +8,14 @@ de-interleaver to the Viterbi decoder.  The software model provides:
 * soft demapping — max-log-MAP per-bit log-likelihood ratios, with the
   convention that a *positive* LLR means the coded bit is more likely ``0``
   (the convention :class:`repro.coding.viterbi.ViterbiDecoder` expects).
+
+All entry points accept symbol arrays of any shape and demap every symbol in
+one vectorised pass — the receiver hands a whole burst's
+``(n_symbols, n_data_subcarriers)`` block to a single call, which is one of
+the two hot paths the :mod:`repro.sim` sweep engine leans on.  The
+per-symbol reference implementations (``hard_decisions_scalar`` /
+``soft_decisions_scalar``) are retained for the bit-exact agreement tests in
+``tests/test_hot_path_agreement.py``.
 """
 
 from __future__ import annotations
@@ -24,6 +32,15 @@ class SymbolDemapper:
     def __init__(self, modulation: Modulation | str) -> None:
         self.constellation: Constellation = get_constellation(modulation)
         self._bit_table = self.constellation.bit_table()
+        # Per-bit constellation partitions, precomputed once: the indices of
+        # the points whose label has a 0 (resp. 1) in each bit position.
+        k = self.constellation.bits_per_symbol
+        self._points_bit_zero = [
+            np.flatnonzero(self._bit_table[:, bit] == 0) for bit in range(k)
+        ]
+        self._points_bit_one = [
+            np.flatnonzero(self._bit_table[:, bit] != 0) for bit in range(k)
+        ]
 
     @property
     def modulation(self) -> Modulation:
@@ -36,18 +53,24 @@ class SymbolDemapper:
         return self.constellation.bits_per_symbol
 
     # ------------------------------------------------------------------
-    def hard_decisions(self, symbols: np.ndarray) -> np.ndarray:
-        """Nearest-point hard demapping, returning the coded bit stream."""
+    def _distances(self, symbols: np.ndarray) -> np.ndarray:
+        """Squared Euclidean distance of every symbol to every point."""
         received = np.asarray(symbols, dtype=np.complex128).ravel()
-        distances = np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
-        addresses = np.argmin(distances, axis=1)
-        return unpack_bits(addresses, self.bits_per_symbol)
+        return np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
+
+    def hard_decisions(self, symbols: np.ndarray) -> np.ndarray:
+        """Nearest-point hard demapping, returning the coded bit stream.
+
+        ``symbols`` may have any shape; every symbol is demapped in one
+        vectorised pass and the bits are returned in C-order (for the
+        receiver's ``(n_symbols, n_subcarriers)`` block that is exactly the
+        per-symbol transmission order).
+        """
+        return unpack_bits(self.hard_addresses(symbols), self.bits_per_symbol)
 
     def hard_addresses(self, symbols: np.ndarray) -> np.ndarray:
         """Nearest-point hard demapping, returning LUT addresses."""
-        received = np.asarray(symbols, dtype=np.complex128).ravel()
-        distances = np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
-        return np.argmin(distances, axis=1)
+        return np.argmin(self._distances(symbols), axis=1)
 
     # ------------------------------------------------------------------
     def soft_decisions(
@@ -58,7 +81,8 @@ class SymbolDemapper:
         Parameters
         ----------
         symbols:
-            Received (equalised) symbols.
+            Received (equalised) symbols, any shape; all are demapped in one
+            batched pass.
         noise_variance:
             Per-complex-dimension noise variance used to scale the LLRs.  A
             constant scale does not change hard Viterbi decisions but keeps
@@ -67,16 +91,45 @@ class SymbolDemapper:
         """
         if noise_variance <= 0:
             raise ValueError("noise_variance must be positive")
-        received = np.asarray(symbols, dtype=np.complex128).ravel()
-        n_sym = received.size
+        distances = self._distances(symbols)
         k = self.bits_per_symbol
-        distances = np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
-        llrs = np.zeros((n_sym, k), dtype=np.float64)
+        llrs = np.empty((distances.shape[0], k), dtype=np.float64)
         for bit in range(k):
-            mask_zero = self._bit_table[:, bit] == 0
-            d_zero = distances[:, mask_zero].min(axis=1)
-            d_one = distances[:, ~mask_zero].min(axis=1)
+            d_zero = distances[:, self._points_bit_zero[bit]].min(axis=1)
+            d_one = distances[:, self._points_bit_one[bit]].min(axis=1)
             llrs[:, bit] = (d_one - d_zero) / noise_variance
+        return llrs.ravel()
+
+    # ------------------------------------------------------------------
+    # scalar reference implementations (agreement-test ground truth)
+    # ------------------------------------------------------------------
+    def hard_decisions_scalar(self, symbols: np.ndarray) -> np.ndarray:
+        """Per-symbol reference hard demapper (one symbol at a time)."""
+        received = np.asarray(symbols, dtype=np.complex128).ravel()
+        bits = []
+        for symbol in received:
+            distances = np.abs(symbol - self.constellation.points) ** 2
+            bits.append(unpack_bits([int(np.argmin(distances))], self.bits_per_symbol))
+        if not bits:
+            return np.zeros(0, dtype=np.uint8)
+        return np.concatenate(bits)
+
+    def soft_decisions_scalar(
+        self, symbols: np.ndarray, noise_variance: float = 1.0
+    ) -> np.ndarray:
+        """Per-symbol, per-bit reference soft demapper."""
+        if noise_variance <= 0:
+            raise ValueError("noise_variance must be positive")
+        received = np.asarray(symbols, dtype=np.complex128).ravel()
+        k = self.bits_per_symbol
+        llrs = np.zeros((received.size, k), dtype=np.float64)
+        for index, symbol in enumerate(received):
+            distances = np.abs(symbol - self.constellation.points) ** 2
+            for bit in range(k):
+                mask_zero = self._bit_table[:, bit] == 0
+                d_zero = distances[mask_zero].min()
+                d_one = distances[~mask_zero].min()
+                llrs[index, bit] = (d_one - d_zero) / noise_variance
         return llrs.ravel()
 
     # ------------------------------------------------------------------

@@ -1,0 +1,57 @@
+"""Batched link-simulation engine: typed sweeps, worker pools, result cache.
+
+``repro.sim`` is the scale layer of the reproduction.  Where
+:func:`repro.core.transceiver.simulate_link` runs one operating point burst
+by burst, this package describes whole experiment grids declaratively and
+executes them efficiently:
+
+* :class:`~repro.sim.spec.SweepSpec` / :class:`~repro.sim.spec.SweepResult`
+  — typed, JSON-round-trippable descriptions of a sweep over SNR,
+  modulation, code rate, stream count, channel model and detector;
+* :class:`~repro.sim.runner.SweepRunner` — fans bursts out over a
+  ``multiprocessing`` pool in deterministically seeded batches, stops each
+  grid point early once its bit-error target is reached, and serves
+  repeated sweeps from a JSON cache keyed by the spec's content hash;
+* :mod:`~repro.sim.engine` — the burst-level backbone shared with
+  ``simulate_link``, so the one-point and grid APIs run the exact same
+  physics.
+
+Quick start::
+
+    from repro.sim import SweepSpec, run_sweep
+
+    spec = SweepSpec(
+        snr_db=(5, 10, 15, 20, 25, 30),
+        modulations=("qpsk", "16qam", "64qam"),
+        n_info_bits=512,
+        n_bursts=200,
+        target_errors=100,
+        base_seed=7,
+    )
+    result = run_sweep(spec)
+    print(result.ber_curve(modulation="16qam"))
+
+See ``docs/simulation.md`` for the full engine guide.
+"""
+
+from repro.sim.cache import JsonCache, default_cache_dir
+from repro.sim.runner import SweepRunner, run_sweep
+from repro.sim.spec import (
+    ENGINE_VERSION,
+    SweepPoint,
+    SweepPointResult,
+    SweepResult,
+    SweepSpec,
+)
+
+__all__ = [
+    "ENGINE_VERSION",
+    "JsonCache",
+    "SweepPoint",
+    "SweepPointResult",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "default_cache_dir",
+    "run_sweep",
+]

@@ -1,0 +1,96 @@
+"""JSON result cache keyed by content hashes.
+
+Sweep results (and any other JSON-serialisable experiment payload, e.g. the
+ergodic-capacity curves in :mod:`repro.analysis.capacity`) are stored one
+file per key under a cache directory.  A repeated sweep whose
+:class:`~repro.sim.spec.SweepSpec` hashes to an existing entry is served
+from disk without simulating a single burst.
+
+The default directory is ``~/.cache/repro-sim`` and can be overridden with
+the ``REPRO_SIM_CACHE_DIR`` environment variable or per-instance.  Corrupt
+or unreadable entries are treated as misses, never as errors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional, Union
+
+_ENV_VAR = "REPRO_SIM_CACHE_DIR"
+
+
+def content_key(payload: dict, prefix: str = "") -> str:
+    """Content hash of a JSON-serialisable payload, usable as a cache key.
+
+    The single canonicalisation recipe (sorted keys, compact separators,
+    SHA-256, 20 hex chars) shared by every cache user —
+    :meth:`repro.sim.spec.SweepSpec.spec_hash`, the capacity curves, and
+    whatever future experiment wants memoisation — so keying behaviour can
+    never drift between them.
+    """
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return prefix + hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+
+
+def default_cache_dir() -> Path:
+    """Resolve the cache directory from the environment or the home dir."""
+    override = os.environ.get(_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "repro-sim"
+
+
+class JsonCache:
+    """Tiny content-addressed JSON store (one file per key)."""
+
+    def __init__(self, directory: Union[None, str, Path] = None) -> None:
+        self.directory = Path(directory) if directory is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """File backing ``key``."""
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[dict]:
+        """Stored payload for ``key``, or ``None`` on miss/corruption."""
+        path = self.path_for(key)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    def put(self, key: str, payload: dict) -> Path:
+        """Store ``payload`` under ``key`` atomically; returns the file path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        if not self.directory.is_dir():
+            return removed
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,363 @@
+"""Typed sweep descriptions and results for the batched simulation engine.
+
+A :class:`SweepSpec` declares a grid of link-simulation operating points —
+the Cartesian product of SNR, modulation, code rate, stream count, channel
+model and detector axes — together with the per-point burst budget, the
+early-stopping error target and the base seed.  :meth:`SweepSpec.points`
+expands the grid into :class:`SweepPoint` cells; the
+:class:`~repro.sim.runner.SweepRunner` simulates each cell into a
+:class:`SweepPointResult` and aggregates them into a :class:`SweepResult`.
+
+Everything here is a plain frozen dataclass with loss-free ``to_dict`` /
+``from_dict`` round-trips, which is what makes the JSON result cache
+(:mod:`repro.sim.cache`) and the multiprocessing workers possible: a spec is
+hashed from its canonical JSON form, and a cached result is rebuilt without
+re-running a single burst.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Bumped whenever the engine's statistics change meaning, so stale cache
+#: entries from an older engine can never be mistaken for fresh results.
+ENGINE_VERSION = 1
+
+#: Channel models the engine knows how to build (see ``repro.sim.engine``).
+CHANNEL_MODELS = ("ideal", "flat_rayleigh", "frequency_selective")
+
+#: Detector choices, matching ``TransceiverConfig.detector``.
+DETECTORS = ("zf", "mmse")
+
+
+def _as_tuple(value, caster) -> tuple:
+    """Normalise a scalar, sequence or numpy-array axis into a tuple."""
+    if isinstance(value, np.ndarray):
+        value = value.tolist()
+    if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
+        return (caster(value),)
+    return tuple(caster(item) for item in value)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of a link-level sweep.
+
+    Grid axes (each accepts a scalar or a sequence; the grid is their
+    Cartesian product):
+
+    snr_db:
+        SNR points in dB.  ``None`` entries are not allowed — use a very
+        high SNR for a quasi-noiseless point.
+    modulations:
+        Constellations, e.g. ``("bpsk", "qpsk", "16qam", "64qam")``.
+    code_rates:
+        Convolutional code rates, e.g. ``("1/2", "2/3", "3/4")``.
+    stream_counts:
+        Antenna/stream counts of the square MIMO system (4 is the paper's).
+    channels:
+        Channel models: ``"ideal"``, ``"flat_rayleigh"`` or
+        ``"frequency_selective"``.
+    detectors:
+        MIMO detectors: ``"zf"`` (paper) or ``"mmse"`` (baseline).
+
+    Per-point simulation budget:
+
+    n_info_bits:
+        Information bits per spatial stream per burst.
+    n_bursts:
+        Maximum bursts per grid point.
+    target_errors:
+        Early-stopping threshold: once a point has accumulated this many
+        bit errors its BER estimate is statistically settled and no more
+        bursts are simulated for it.  ``None`` disables early stopping.
+
+    Reproducibility and physics knobs:
+
+    base_seed:
+        Root of the deterministic per-(point, batch) seed tree.  Two runs
+        of the same spec produce identical results regardless of worker
+        count or scheduling.
+    fresh_fading_per_burst:
+        When True (default) every burst sees an independent fading
+        realisation (Monte-Carlo over the channel ensemble); when False one
+        fading realisation — seeded only by ``base_seed`` and the antenna
+        count — is shared by all bursts, all SNR points and all
+        modulations, which is what a classic waterfall plot over a single
+        channel draw wants.
+    known_timing:
+        Bypass time synchronisation and hand the receiver the true LTS
+        position (isolates detection/decoding from sync errors).
+    fft_size / soft_decision:
+        Forwarded to :class:`~repro.core.config.TransceiverConfig`.
+    """
+
+    snr_db: Tuple[float, ...] = (20.0,)
+    modulations: Tuple[str, ...] = ("16qam",)
+    code_rates: Tuple[str, ...] = ("1/2",)
+    stream_counts: Tuple[int, ...] = (4,)
+    channels: Tuple[str, ...] = ("flat_rayleigh",)
+    detectors: Tuple[str, ...] = ("zf",)
+    n_info_bits: int = 512
+    n_bursts: int = 100
+    target_errors: Optional[int] = 100
+    base_seed: int = 0
+    fresh_fading_per_burst: bool = True
+    known_timing: bool = False
+    fft_size: int = 64
+    soft_decision: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "snr_db", _as_tuple(self.snr_db, float))
+        object.__setattr__(self, "modulations", _as_tuple(self.modulations, str))
+        object.__setattr__(self, "code_rates", _as_tuple(self.code_rates, str))
+        object.__setattr__(self, "stream_counts", _as_tuple(self.stream_counts, int))
+        object.__setattr__(self, "channels", _as_tuple(self.channels, str))
+        object.__setattr__(self, "detectors", _as_tuple(self.detectors, str))
+        for channel in self.channels:
+            if channel not in CHANNEL_MODELS:
+                raise ValueError(
+                    f"unknown channel model {channel!r}; expected one of {CHANNEL_MODELS}"
+                )
+        for detector in self.detectors:
+            if detector not in DETECTORS:
+                raise ValueError(
+                    f"unknown detector {detector!r}; expected one of {DETECTORS}"
+                )
+        if not self.snr_db:
+            raise ValueError("the sweep needs at least one SNR point")
+        if self.n_info_bits <= 0:
+            raise ValueError("n_info_bits must be positive")
+        if self.n_bursts <= 0:
+            raise ValueError("n_bursts must be positive")
+        if self.target_errors is not None and self.target_errors <= 0:
+            raise ValueError("target_errors must be positive or None")
+
+    # ------------------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        """Number of grid cells the spec expands to."""
+        return (
+            len(self.modulations)
+            * len(self.code_rates)
+            * len(self.stream_counts)
+            * len(self.channels)
+            * len(self.detectors)
+            * len(self.snr_db)
+        )
+
+    def points(self) -> List["SweepPoint"]:
+        """Expand the grid into its cells (SNR varies fastest).
+
+        The expansion order is part of the engine's contract: point indices
+        seed the per-point RNG streams, so reordering the axes would change
+        the simulated noise even for an identical grid.
+        """
+        cells = itertools.product(
+            self.modulations,
+            self.code_rates,
+            self.stream_counts,
+            self.channels,
+            self.detectors,
+            self.snr_db,
+        )
+        return [
+            SweepPoint(
+                index=index,
+                modulation=modulation,
+                code_rate=code_rate,
+                n_streams=n_streams,
+                channel=channel,
+                detector=detector,
+                snr_db=snr,
+            )
+            for index, (
+                modulation,
+                code_rate,
+                n_streams,
+                channel,
+                detector,
+                snr,
+            ) in enumerate(cells)
+        ]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (tuples become lists)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepSpec":
+        """Rebuild a spec from :meth:`to_dict` output."""
+        return cls(**payload)
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the spec (cache key).
+
+        Any field change — including the engine version — yields a new
+        hash, so cached results can never leak across different sweeps.
+        (Runner knobs like batch size and worker count are deliberately
+        absent: they do not affect the reported statistics.)
+        """
+        from repro.sim.cache import content_key
+
+        return content_key({"engine_version": ENGINE_VERSION, **self.to_dict()})
+
+    def subset(self, **changes) -> "SweepSpec":
+        """A copy of the spec with some fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cell of the sweep grid."""
+
+    index: int
+    modulation: str
+    code_rate: str
+    n_streams: int
+    channel: str
+    detector: str
+    snr_db: float
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepPoint":
+        """Rebuild a point from :meth:`to_dict` output."""
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class SweepPointResult:
+    """Aggregate link statistics of one simulated grid point.
+
+    ``decode_failures`` counts bursts the receiver gave up on entirely
+    (time-sync miss deep in the noise); each is folded into the BER/PER
+    statistics as a fully errored frame.
+    """
+
+    point: SweepPoint
+    bit_errors: int
+    total_bits: int
+    frame_errors: int
+    n_bursts: int
+    early_stopped: bool
+    decode_failures: int = 0
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Monte-Carlo BER estimate of the point."""
+        return self.bit_errors / self.total_bits if self.total_bits else 0.0
+
+    @property
+    def packet_error_rate(self) -> float:
+        """Fraction of simulated bursts with at least one bit error."""
+        return self.frame_errors / self.n_bursts if self.n_bursts else 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        payload = asdict(self)
+        payload["point"] = self.point.to_dict()
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SweepPointResult":
+        """Rebuild a point result from :meth:`to_dict` output."""
+        data = dict(payload)
+        data["point"] = SweepPoint.from_dict(data["point"])
+        return cls(**data)
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a whole sweep, cache-round-trippable.
+
+    Attributes
+    ----------
+    spec:
+        The spec that produced the result.
+    points:
+        One :class:`SweepPointResult` per grid cell, in grid order.
+    elapsed_s:
+        Wall-clock time of the producing run (cached hits report the time
+        of the original simulation, not of the cache read).
+    from_cache:
+        True when the result was served from the JSON cache.
+    n_bursts_simulated:
+        Bursts actually simulated by *this* call — 0 on a cache hit, and
+        potentially far below ``spec.n_bursts * n_points`` when early
+        stopping kicks in.
+    """
+
+    spec: SweepSpec
+    points: List[SweepPointResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    from_cache: bool = False
+    n_bursts_simulated: int = 0
+
+    # ------------------------------------------------------------------
+    def _curve(self, metric: str, filters: dict) -> Dict[float, float]:
+        """A per-SNR curve of one :class:`SweepPointResult` metric."""
+        curve: Dict[float, float] = {}
+        for result in self.filter(**filters):
+            snr = result.point.snr_db
+            if snr in curve:
+                raise ValueError(
+                    f"{metric} curve filters leave more than one point per "
+                    "SNR; add more filters"
+                )
+            curve[snr] = getattr(result, metric)
+        return dict(sorted(curve.items()))
+
+    def ber_curve(self, **filters) -> Dict[float, float]:
+        """BER keyed by SNR for the points matching ``filters``.
+
+        ``filters`` compare against :class:`SweepPoint` fields, e.g.
+        ``result.ber_curve(modulation="16qam", detector="zf")``.  Raises if
+        the filter leaves more than one point per SNR (an ambiguous curve).
+        """
+        return self._curve("bit_error_rate", filters)
+
+    def per_curve(self, **filters) -> Dict[float, float]:
+        """Packet-error rate keyed by SNR for the points matching ``filters``."""
+        return self._curve("packet_error_rate", filters)
+
+    def filter(self, **filters) -> List[SweepPointResult]:
+        """Point results whose grid cell matches every filter field."""
+        matched = []
+        for result in self.points:
+            cell = result.point.to_dict()
+            if all(cell[key] == value for key, value in filters.items()):
+                matched.append(result)
+        return matched
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation."""
+        return {
+            "engine_version": ENGINE_VERSION,
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.spec_hash(),
+            "points": [point.to_dict() for point in self.points],
+            "elapsed_s": self.elapsed_s,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict, from_cache: bool = False) -> "SweepResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        return cls(
+            spec=SweepSpec.from_dict(payload["spec"]),
+            points=[SweepPointResult.from_dict(p) for p in payload["points"]],
+            elapsed_s=float(payload.get("elapsed_s", 0.0)),
+            from_cache=from_cache,
+            n_bursts_simulated=0 if from_cache else sum(
+                p["n_bursts"] for p in payload["points"]
+            ),
+        )

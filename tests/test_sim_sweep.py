@@ -1,0 +1,248 @@
+"""Tests for the repro.sim sweep engine: specs, runner, caching, determinism."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.sim.engine as engine
+from repro.sim import JsonCache, SweepRunner, SweepSpec, run_sweep
+from repro.sim.spec import SweepPoint, SweepPointResult, SweepResult
+
+
+def small_spec(**overrides) -> SweepSpec:
+    """A fast two-point spec the runner tests share."""
+    fields = dict(
+        snr_db=(8.0, 30.0),
+        modulations=("qpsk",),
+        n_info_bits=80,
+        n_bursts=3,
+        target_errors=None,
+        base_seed=3,
+    )
+    fields.update(overrides)
+    return SweepSpec(**fields)
+
+
+class TestSweepSpec:
+    def test_scalar_axes_are_normalised_to_tuples(self):
+        spec = SweepSpec(snr_db=10, modulations="qpsk", stream_counts=2)
+        assert spec.snr_db == (10.0,)
+        assert spec.modulations == ("qpsk",)
+        assert spec.stream_counts == (2,)
+
+    def test_grid_expansion_order_and_count(self):
+        spec = SweepSpec(
+            snr_db=(0.0, 10.0),
+            modulations=("qpsk", "16qam"),
+            detectors=("zf", "mmse"),
+        )
+        points = spec.points()
+        assert len(points) == spec.n_points == 8
+        assert [p.index for p in points] == list(range(8))
+        # SNR varies fastest.
+        assert (points[0].snr_db, points[1].snr_db) == (0.0, 10.0)
+        assert points[0].modulation == points[1].modulation == "qpsk"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SweepSpec(channels=("fancy",))
+        with pytest.raises(ValueError):
+            SweepSpec(detectors=("dfe",))
+        with pytest.raises(ValueError):
+            SweepSpec(n_bursts=0)
+        with pytest.raises(ValueError):
+            SweepSpec(target_errors=0)
+
+    def test_dict_round_trip_and_hash_stability(self):
+        spec = small_spec()
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_hash_changes_with_any_field(self):
+        spec = small_spec()
+        assert spec.spec_hash() != spec.subset(base_seed=4).spec_hash()
+        assert spec.spec_hash() != spec.subset(n_bursts=4).spec_hash()
+        assert spec.spec_hash() != spec.subset(snr_db=(8.0, 31.0)).spec_hash()
+
+    def test_result_round_trip(self):
+        spec = small_spec()
+        point = spec.points()[0]
+        result = SweepResult(
+            spec=spec,
+            points=[
+                SweepPointResult(
+                    point=point,
+                    bit_errors=5,
+                    total_bits=100,
+                    frame_errors=1,
+                    n_bursts=2,
+                    early_stopped=False,
+                )
+            ],
+            elapsed_s=1.5,
+        )
+        rebuilt = SweepResult.from_dict(
+            json.loads(json.dumps(result.to_dict())), from_cache=True
+        )
+        assert rebuilt.spec == spec
+        assert rebuilt.from_cache
+        assert rebuilt.n_bursts_simulated == 0
+        assert rebuilt.points[0].bit_error_rate == pytest.approx(0.05)
+        assert rebuilt.points[0].point == point
+
+
+class TestEngine:
+    def test_build_config_maps_point_fields(self):
+        spec = SweepSpec(snr_db=(0.0,), soft_decision=True, fft_size=64)
+        point = SweepPoint(
+            index=0,
+            modulation="64qam",
+            code_rate="3/4",
+            n_streams=2,
+            channel="ideal",
+            detector="mmse",
+            snr_db=12.0,
+        )
+        config = engine.build_config(point, spec)
+        assert config.n_antennas == 2
+        assert config.modulation.value == "64qam"
+        assert config.code_rate.value == "3/4"
+        assert config.detector == "mmse"
+        assert config.soft_decision
+
+    def test_burst_seed_is_deterministic(self):
+        spec = small_spec()
+        a = engine.burst_seed(spec, 1, 2).generate_state(4)
+        b = engine.burst_seed(spec, 1, 2).generate_state(4)
+        c = engine.burst_seed(spec, 1, 3).generate_state(4)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_every_channel_model_builds(self):
+        spec = small_spec()
+        for channel in ("ideal", "flat_rayleigh", "frequency_selective"):
+            point = spec.subset(channels=(channel,)).points()[0]
+            fading = engine.build_fading(point, np.random.default_rng(0))
+            assert fading.n_rx == fading.n_tx == point.n_streams
+
+
+class TestSweepRunner:
+    def test_results_are_deterministic(self, tmp_path):
+        a = SweepRunner(small_spec(), n_workers=1, cache=False).run()
+        b = SweepRunner(small_spec(), n_workers=1, cache=False).run()
+        assert [p.bit_errors for p in a.points] == [p.bit_errors for p in b.points]
+        assert [p.total_bits for p in a.points] == [p.total_bits for p in b.points]
+
+    def test_physics_independent_of_batch_size(self):
+        a = SweepRunner(small_spec(), n_workers=1, cache=False, batch_size=3).run()
+        b = SweepRunner(small_spec(), n_workers=1, cache=False, batch_size=1).run()
+        assert [p.bit_errors for p in a.points] == [p.bit_errors for p in b.points]
+
+    def test_early_stopped_statistics_independent_of_batch_size(self):
+        # The burst-level fold must stop at the same burst no matter how
+        # the budget is batched — batch_size is deliberately not part of
+        # the cache key, which is only sound if this holds.
+        spec = small_spec(snr_db=(8.0,), n_bursts=12, target_errors=200)
+        results = [
+            SweepRunner(spec, n_workers=1, cache=False, batch_size=size).run()
+            for size in (1, 2, 5, 12)
+        ]
+        stats = [
+            (p.bit_errors, p.total_bits, p.frame_errors, p.n_bursts)
+            for result in results
+            for p in result.points
+        ]
+        assert all(cell == stats[0] for cell in stats)
+        assert results[0].points[0].early_stopped
+
+    def test_pool_matches_serial(self):
+        spec = small_spec(n_bursts=2)
+        serial = SweepRunner(spec, n_workers=1, cache=False, batch_size=1).run()
+        pooled = SweepRunner(spec, n_workers=2, cache=False, batch_size=1).run()
+        assert [(p.bit_errors, p.total_bits, p.frame_errors) for p in serial.points] == [
+            (p.bit_errors, p.total_bits, p.frame_errors) for p in pooled.points
+        ]
+
+    def test_early_stopping_cuts_burst_count(self):
+        # 8 dB QPSK over fresh Rayleigh fading is error-rich: a single burst
+        # collects far more than 10 bit errors.
+        spec = small_spec(snr_db=(8.0,), n_bursts=6, target_errors=10)
+        result = SweepRunner(spec, n_workers=1, cache=False, batch_size=1).run()
+        point = result.points[0]
+        assert point.early_stopped
+        assert point.n_bursts < spec.n_bursts
+        assert point.bit_errors >= 10
+
+    def test_cached_rerun_simulates_zero_bursts(self, tmp_path, monkeypatch):
+        spec = small_spec()
+        first = SweepRunner(spec, n_workers=1, cache=tmp_path).run()
+        assert not first.from_cache
+        assert first.n_bursts_simulated == spec.n_points * spec.n_bursts
+
+        calls = []
+        original = engine.simulate_batch
+
+        def counting(task):
+            calls.append(task)
+            return original(task)
+
+        monkeypatch.setattr("repro.sim.runner.simulate_batch", counting)
+        second = SweepRunner(spec, n_workers=1, cache=tmp_path).run()
+        assert second.from_cache
+        assert second.n_bursts_simulated == 0
+        assert calls == []  # the cache hit performed zero new burst simulations
+        assert [p.bit_errors for p in second.points] == [
+            p.bit_errors for p in first.points
+        ]
+
+    def test_cache_ignored_when_disabled(self, tmp_path):
+        spec = small_spec()
+        SweepRunner(spec, n_workers=1, cache=tmp_path).run()
+        fresh = SweepRunner(spec, n_workers=1, cache=False).run()
+        assert not fresh.from_cache
+
+    def test_run_sweep_convenience(self, tmp_path):
+        result = run_sweep(small_spec(), n_workers=1, cache=tmp_path)
+        assert result.spec == small_spec()
+        assert len(result.points) == 2
+
+    def test_detector_axis_runs_both_detectors(self):
+        spec = small_spec(
+            snr_db=(25.0,), detectors=("zf", "mmse"), n_bursts=1
+        )
+        result = SweepRunner(spec, n_workers=1, cache=False).run()
+        detectors = {p.point.detector for p in result.points}
+        assert detectors == {"zf", "mmse"}
+
+    def test_fixed_fading_is_shared_across_points(self):
+        # In shared-fading mode the high-SNR point must be at least as good
+        # as the low-SNR point over the *same* channel realisation.
+        spec = small_spec(
+            snr_db=(5.0, 35.0), fresh_fading_per_burst=False, n_bursts=2
+        )
+        result = SweepRunner(spec, n_workers=1, cache=False).run()
+        curve = result.ber_curve(modulation="qpsk")
+        assert curve[35.0] <= curve[5.0]
+
+
+class TestJsonCache:
+    def test_round_trip_and_miss(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        assert cache.get("absent") is None
+        cache.put("key", {"value": 3})
+        assert cache.get("key") == {"value": 3}
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        cache.path_for("bad").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("bad").write_text("not json{")
+        assert cache.get("bad") is None
+
+    def test_clear(self, tmp_path):
+        cache = JsonCache(tmp_path)
+        cache.put("a", {})
+        cache.put("b", {})
+        assert cache.clear() == 2
+        assert cache.get("a") is None

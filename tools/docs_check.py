@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Documentation gate: every public module in ``src/repro`` needs a docstring.
+
+Walks the package tree, AST-parses each ``.py`` file whose name (and whose
+parent packages' names) do not start with an underscore, and fails with a
+listing of the offenders when any module-level docstring is missing or
+empty.  Run via ``make docs-check``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+PACKAGE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def public_modules(root: Path) -> list[Path]:
+    """Every ``.py`` file in the tree that is part of the public surface.
+
+    ``__init__.py`` files are public (they document the package); any other
+    name starting with an underscore is private and exempt.
+    """
+    modules = []
+    for path in sorted(root.rglob("*.py")):
+        parts = path.relative_to(root).parts
+        private = any(
+            part.startswith("_") and part != "__init__.py" for part in parts
+        )
+        if not private:
+            modules.append(path)
+    return modules
+
+
+def missing_docstrings(modules: list[Path]) -> list[Path]:
+    """Modules whose AST has no (or an empty) module docstring."""
+    offenders = []
+    for path in modules:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        docstring = ast.get_docstring(tree)
+        if not docstring or not docstring.strip():
+            offenders.append(path)
+    return offenders
+
+
+def main() -> int:
+    if not PACKAGE_ROOT.is_dir():
+        print(f"docs-check: package root {PACKAGE_ROOT} not found", file=sys.stderr)
+        return 2
+    modules = public_modules(PACKAGE_ROOT)
+    offenders = missing_docstrings(modules)
+    if offenders:
+        print("docs-check: modules missing a module docstring:", file=sys.stderr)
+        for path in offenders:
+            print(f"  {path.relative_to(PACKAGE_ROOT.parent.parent)}", file=sys.stderr)
+        return 1
+    print(f"docs-check: OK ({len(modules)} public modules documented)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
