@@ -1,15 +1,16 @@
 # Development entry points for the repro package.
 #
-#   make test        - tier-1 test suite (tests/ + benchmarks/, fail fast)
-#   make test-fast   - unit tests only (skips the benchmark harness)
-#   make bench-smoke - quick benchmark pass: every claim/table/ablation once
-#   make docs-check  - fail if any public module lacks a module docstring
-#   make clean-cache - drop the repro.sim JSON result cache
+#   make test              - tier-1 test suite (tests/ + benchmarks/, fail fast)
+#   make test-fast         - unit tests only (skips the benchmark harness)
+#   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
+#   make bench-impairments - front-end impairment grid smoke (CFO x word length x SNR)
+#   make docs-check        - fail if any public module lacks a module docstring
+#   make clean-cache       - drop the repro.sim JSON result cache
 
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench-smoke docs-check clean-cache
+.PHONY: test test-fast bench-smoke bench-impairments docs-check clean-cache
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -19,6 +20,9 @@ test-fast:
 
 bench-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks -q --benchmark-disable
+
+bench-impairments:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_impairment_sweep.py -q --benchmark-disable
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

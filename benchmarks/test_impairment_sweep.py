@@ -1,0 +1,137 @@
+"""Front-end impairment grid through the batched sweep engine.
+
+The paper's headline is a *fixed-point* baseband that survives real
+front-end conditions; PR 4 made those conditions (CFO, timing, IQ
+imbalance, word lengths) first-class grid axes of ``repro.sim``.  This
+benchmark drives the acceptance grid — CFO x word length x SNR, i.e.
+``ImpairmentSpec`` entries Cartesian with the SNR axis — through a real
+worker pool and checks the engine's contracts on the new axes:
+
+* the pooled run and every (n_workers, batch_size) variant report
+  bit-identical statistics (physics is a pure function of the spec);
+* an identical re-run is served from the JSON cache without simulating a
+  single burst;
+* the cache key includes ``ENGINE_VERSION`` (bumped to 2 with the axis),
+  so an entry written by an older engine is demonstrably never reused.
+"""
+
+import pytest
+
+from repro.sim import ENGINE_VERSION, ImpairmentSpec, SweepRunner, SweepSpec
+from repro.sim.cache import JsonCache, content_key
+
+CFO_VALUES = (5e-4, 2e-3)
+WORD_LENGTHS = (8, 16)
+SNR_POINTS_DB = (10.0, 18.0, 26.0)
+N_INFO_BITS = 96
+N_BURSTS = 2
+BASE_SEED = 77
+
+
+def _impairment_grid():
+    return tuple(
+        ImpairmentSpec.quantized(word_length, cfo_normalized=cfo)
+        for word_length in WORD_LENGTHS
+        for cfo in CFO_VALUES
+    )
+
+
+def _grid_spec() -> SweepSpec:
+    return SweepSpec(
+        snr_db=SNR_POINTS_DB,
+        modulations=("qpsk",),
+        channels=("flat_rayleigh",),
+        impairments=_impairment_grid(),
+        n_info_bits=N_INFO_BITS,
+        n_bursts=N_BURSTS,
+        target_errors=None,
+        base_seed=BASE_SEED,
+    )
+
+
+def _stats(result):
+    return [
+        (p.bit_errors, p.total_bits, p.frame_errors, p.n_bursts)
+        for p in result.points
+    ]
+
+
+@pytest.mark.benchmark(group="impairment-sweep")
+def test_impairment_grid_runs_pooled_and_caches(benchmark, table_printer, tmp_path):
+    spec = _grid_spec()
+    assert spec.n_points == len(CFO_VALUES) * len(WORD_LENGTHS) * len(SNR_POINTS_DB)
+
+    result = benchmark.pedantic(
+        lambda: SweepRunner(spec, n_workers=2, batch_size=1, cache=tmp_path).run(),
+        rounds=1,
+        iterations=1,
+    )
+    assert not result.from_cache
+    assert result.n_bursts_simulated == spec.n_points * N_BURSTS
+
+    table_printer(
+        "Front-end impairment grid (QPSK, rate 1/2, flat Rayleigh; pool of 2)",
+        ["word bits", "CFO (cyc/sa)", *(f"BER @ {snr:.0f} dB" for snr in SNR_POINTS_DB)],
+        [
+            (
+                word_length,
+                cfo,
+                *(
+                    f"{result.ber_curve(impairment=ImpairmentSpec.quantized(word_length, cfo_normalized=cfo))[snr]:.4f}"
+                    for snr in SNR_POINTS_DB
+                ),
+            )
+            for word_length in WORD_LENGTHS
+            for cfo in CFO_VALUES
+        ],
+    )
+
+    # Identical spec -> cache hit, zero bursts simulated.
+    again = SweepRunner(spec, n_workers=2, batch_size=1, cache=tmp_path).run()
+    assert again.from_cache
+    assert again.n_bursts_simulated == 0
+    assert _stats(again) == _stats(result)
+
+
+@pytest.mark.benchmark(group="impairment-sweep")
+def test_impairment_statistics_independent_of_runner_knobs(benchmark, tmp_path):
+    spec = _grid_spec()
+    reference = benchmark.pedantic(
+        lambda: SweepRunner(spec, n_workers=2, batch_size=1, cache=False).run(),
+        rounds=1,
+        iterations=1,
+    )
+    for n_workers, batch_size in ((1, 1), (1, 2), (3, 2)):
+        variant = SweepRunner(
+            spec, n_workers=n_workers, batch_size=batch_size, cache=False
+        ).run()
+        assert _stats(variant) == _stats(reference), (n_workers, batch_size)
+
+
+@pytest.mark.benchmark(group="impairment-sweep")
+def test_old_engine_version_cache_entry_is_not_reused(benchmark, tmp_path):
+    spec = _grid_spec().subset(
+        snr_db=(26.0,), impairments=(ImpairmentSpec.quantized(16),)
+    )
+    cache = JsonCache(tmp_path)
+
+    # The impairment axes shipped with ENGINE_VERSION 2; plant an entry
+    # under the key an engine-version-1 cache would have used.
+    assert ENGINE_VERSION >= 2
+    stale_key = content_key({"engine_version": ENGINE_VERSION - 1, **spec.to_dict()})
+    fresh = benchmark.pedantic(
+        lambda: SweepRunner(spec, n_workers=1, cache=cache).run(),
+        rounds=1,
+        iterations=1,
+    )
+    poisoned = dict(fresh.to_dict())
+    poisoned["points"] = [
+        {**p, "bit_errors": 10**9} for p in poisoned["points"]
+    ]
+    cache.put(stale_key, poisoned)
+
+    assert spec.spec_hash() != stale_key
+    result = SweepRunner(spec, n_workers=1, cache=cache).run()
+    # Served from the *current* version's entry, never the stale one.
+    assert result.from_cache
+    assert all(p.bit_errors < 10**9 for p in result.points)

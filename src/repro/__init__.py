@@ -27,7 +27,7 @@ from repro.core.transceiver import LinkSimulationResult, MimoTransceiver, simula
 from repro.core.transmitter import MimoTransmitter
 from repro.hardware.estimator import ReceiverResourceModel, TransmitterResourceModel
 from repro.modulation.constellations import Modulation
-from repro.sim import SweepResult, SweepRunner, SweepSpec, run_sweep
+from repro.sim import ImpairmentSpec, SweepResult, SweepRunner, SweepSpec, run_sweep
 
 __version__ = "1.1.0"
 
@@ -44,6 +44,7 @@ __all__ = [
     "MimoTransceiver",
     "LinkSimulationResult",
     "simulate_link",
+    "ImpairmentSpec",
     "SweepSpec",
     "SweepResult",
     "SweepRunner",

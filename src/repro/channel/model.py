@@ -1,8 +1,9 @@
 """Composable end-to-end MIMO channel model.
 
-:class:`MimoChannel` chains a fading model (ideal / flat Rayleigh /
-frequency selective), front-end impairments (CFO, sample delay) and AWGN into
-a single object with one :meth:`MimoChannel.transmit` call, and exposes the
+:class:`MimoChannel` chains transmit-side DAC quantisation, a fading model
+(ideal / flat Rayleigh / frequency selective), front-end impairments (CFO,
+sample delay, IQ imbalance), AWGN and receive-side ADC quantisation into a
+single object with one :meth:`MimoChannel.transmit` call, and exposes the
 ground-truth per-subcarrier channel matrices so experiments can compare the
 receiver's estimates against the real channel.
 """
@@ -16,7 +17,11 @@ import numpy as np
 
 from repro.channel.awgn import add_awgn
 from repro.channel.fading import FlatRayleighChannel, FrequencySelectiveChannel
-from repro.channel.impairments import apply_carrier_frequency_offset, apply_sample_delay
+from repro.channel.impairments import (
+    apply_carrier_frequency_offset,
+    apply_iq_imbalance,
+)
+from repro.dsp.fixedpoint import FixedPointFormat
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -79,6 +84,21 @@ class MimoChannel:
         Carrier-frequency offset in cycles per sample (``0`` disables).
     sample_delay:
         Integer sample delay prepended to the burst, exercising time sync.
+        The observation window is extended by the delay so the burst tail
+        is never lost (the receiver keeps listening while the burst arrives
+        late).
+    iq_amplitude_db / iq_phase_deg:
+        Receive-mixer IQ amplitude (dB) and phase (degrees) imbalance,
+        applied after the CFO rotation (``0`` disables).
+    tx_quantization:
+        Optional :class:`~repro.dsp.fixedpoint.FixedPointFormat` applied to
+        the transmit samples before the channel — the DAC word length on
+        the paper's 16-bit sample interface.
+    rx_quantization:
+        Optional format applied to the received samples after the noise —
+        the ADC word length.  (The receiver-side insertion point used by the
+        sweep engine is ``TransceiverConfig.rx_sample_format``; this hook
+        exists for standalone channel experiments.)
     rng:
         Seed or generator used for the noise (fading randomness is owned by
         the fading object itself).
@@ -90,12 +110,20 @@ class MimoChannel:
         snr_db: Optional[float] = None,
         cfo_normalized: float = 0.0,
         sample_delay: int = 0,
+        iq_amplitude_db: float = 0.0,
+        iq_phase_deg: float = 0.0,
+        tx_quantization: Optional[FixedPointFormat] = None,
+        rx_quantization: Optional[FixedPointFormat] = None,
         rng: SeedLike = None,
     ) -> None:
         self.fading = fading if fading is not None else IdealChannel()
         self.snr_db = snr_db
         self.cfo_normalized = cfo_normalized
         self.sample_delay = sample_delay
+        self.iq_amplitude_db = iq_amplitude_db
+        self.iq_phase_deg = iq_phase_deg
+        self.tx_quantization = tx_quantization
+        self.rx_quantization = rx_quantization
         self.rng = make_rng(rng)
 
     @property
@@ -125,13 +153,24 @@ class MimoChannel:
         if x.ndim != 2 or x.shape[0] != self.n_tx:
             raise ValueError(f"expected shape ({self.n_tx}, n_samples), got {x.shape}")
 
+        if self.tx_quantization is not None:
+            x = self.tx_quantization.quantize_complex(x)
         y = self.fading.apply(x)
         if self.sample_delay:
-            y = apply_sample_delay(y, self.sample_delay)
+            # The receiver keeps listening while the burst arrives late:
+            # the observation window grows by the delay and every
+            # transmitted sample survives the shift.  (The length-preserving
+            # apply_sample_delay alone would truncate the burst tail.)
+            pad = np.zeros(y.shape[:-1] + (self.sample_delay,), dtype=np.complex128)
+            y = np.concatenate([pad, y], axis=-1)
         if self.cfo_normalized:
             y = apply_carrier_frequency_offset(y, self.cfo_normalized)
+        if self.iq_amplitude_db or self.iq_phase_deg:
+            y = apply_iq_imbalance(y, self.iq_amplitude_db, self.iq_phase_deg)
         if self.snr_db is not None:
             y = add_awgn(y, self.snr_db, rng=self.rng)
+        if self.rx_quantization is not None:
+            y = self.rx_quantization.quantize_complex(y)
 
         response = None
         if fft_size is not None:

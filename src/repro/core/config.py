@@ -12,11 +12,12 @@ points and scaling it proportionally for other transform lengths.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.coding.convolutional import CodeRate
+from repro.dsp.fixedpoint import FixedPointFormat
 from repro.exceptions import ConfigurationError
 from repro.modulation.constellations import Modulation
 
@@ -141,6 +142,16 @@ class TransceiverConfig:
     zero-forcing multiply-by-stored-inverse design) or ``"mmse"`` (the
     textbook linear-MMSE baseline from :mod:`repro.mimo.detector`), which is
     one of the sweep axes of the :mod:`repro.sim` engine.
+
+    ``rx_sample_format`` / ``rx_multiplier_format`` model the receiver's
+    finite word lengths (Section IV: 16-bit I/Q samples on the antenna
+    interface, 18-bit embedded-multiplier operands).  When set, the receiver
+    quantises the incoming sample stream (``rx_sample_format``, the ADC /
+    JESD204 interface) and every FFT output entering the channel estimator
+    and MIMO detector (``rx_multiplier_format``).  ``None`` (the default)
+    keeps the floating-point datapath.  The paper's formats are
+    :data:`repro.dsp.fixedpoint.SAMPLE_FORMAT_16BIT` and
+    :data:`repro.dsp.fixedpoint.MULTIPLIER_FORMAT_18BIT`.
     """
 
     n_antennas: int = 4
@@ -154,6 +165,8 @@ class TransceiverConfig:
     scramble: bool = True
     correct_cfo: bool = False
     detector: str = "zf"
+    rx_sample_format: Optional[FixedPointFormat] = None
+    rx_multiplier_format: Optional[FixedPointFormat] = None
 
     def __post_init__(self) -> None:
         if self.n_antennas <= 0:
@@ -170,6 +183,12 @@ class TransceiverConfig:
         object.__setattr__(self, "detector", str(self.detector).lower())
         if self.detector not in ("zf", "mmse"):
             raise ConfigurationError("detector must be 'zf' or 'mmse'")
+        for name in ("rx_sample_format", "rx_multiplier_format"):
+            try:
+                coerced = FixedPointFormat.coerce(getattr(self, name), name)
+            except TypeError as error:
+                raise ConfigurationError(str(error)) from None
+            object.__setattr__(self, name, coerced)
 
     # ------------------------------------------------------------------
     @classmethod

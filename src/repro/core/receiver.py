@@ -8,6 +8,13 @@ the MMSE baseline via ``TransceiverConfig.detector``), pilot phase and
 feed-forward timing correction, symbol demapping (hard or soft, batched
 over the whole burst), block de-interleaving, Viterbi decoding and
 descrambling.
+
+Finite word lengths are modelled at the paper's two RX interfaces when the
+configuration asks for them: the incoming sample stream is quantised to
+``TransceiverConfig.rx_sample_format`` (the 16-bit I/Q antenna interface)
+before synchronisation, and every FFT output entering channel estimation
+and detection is quantised to ``TransceiverConfig.rx_multiplier_format``
+(the 18-bit embedded-multiplier operands).
 """
 
 from __future__ import annotations
@@ -87,6 +94,14 @@ class MimoReceiver:
         )
 
     # ------------------------------------------------------------------
+    # fixed-point interfaces
+    # ------------------------------------------------------------------
+    def _quantize_multiplier(self, values: np.ndarray) -> np.ndarray:
+        """Clamp frequency-domain values to the multiplier operand format."""
+        fmt = self.config.rx_multiplier_format
+        return fmt.quantize_complex(values) if fmt is not None else values
+
+    # ------------------------------------------------------------------
     # synchronisation and channel estimation
     # ------------------------------------------------------------------
     def synchronize(self, samples: np.ndarray) -> int:
@@ -131,8 +146,8 @@ class MimoReceiver:
             if second_end > streams.shape[1]:
                 raise DecodingError("burst too short to contain the full LTS preamble")
             for rx in range(n_rx):
-                first = fft(streams[rx, slot_start:first_end])
-                second = fft(streams[rx, first_end:second_end])
+                first = self._quantize_multiplier(fft(streams[rx, slot_start:first_end]))
+                second = self._quantize_multiplier(fft(streams[rx, first_end:second_end]))
                 # Averaged with an adder and right shift in hardware.
                 received_lts[slot, rx] = (first + second) / 2.0
         return self.channel_estimator.estimate(received_lts)
@@ -215,6 +230,9 @@ class MimoReceiver:
         if n_info_bits <= 0:
             raise ConfigurationError("n_info_bits must be positive")
 
+        if self.config.rx_sample_format is not None:
+            streams = self.config.rx_sample_format.quantize_complex(streams)
+
         if lts_start is None:
             lts_start = self.synchronize(streams)
 
@@ -253,7 +271,7 @@ class MimoReceiver:
         for n in range(n_symbols):
             start = max(data_start + n * sps + cp - self.timing_advance, 0)
             block = streams[:, start : start + fft_size]
-            frequency = fft(block)
+            frequency = self._quantize_multiplier(fft(block))
             detected = detect(frequency)
             for stream in range(n_tx):
                 corrected, diag = self.pilots.correct(detected[stream], n)

@@ -15,8 +15,8 @@ range).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Union
+from dataclasses import asdict, dataclass
+from typing import Optional, Union
 
 import numpy as np
 
@@ -124,6 +124,35 @@ class FixedPointFormat:
     def quantization_noise_power(self) -> float:
         """Theoretical quantisation-noise power (uniform model, LSB²/12)."""
         return self.resolution ** 2 / 12.0
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (used by the sweep-spec cache hash)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "FixedPointFormat":
+        """Rebuild a format from :meth:`to_dict` output."""
+        return cls(**payload)
+
+    @classmethod
+    def coerce(
+        cls, value: "Union[None, dict, FixedPointFormat]", field_name: str = "format"
+    ) -> "Optional[FixedPointFormat]":
+        """Normalise a format given as an instance, a ``to_dict`` payload or None.
+
+        The single coercion rule shared by every config/spec field that
+        round-trips formats through JSON (``TransceiverConfig``,
+        ``repro.sim.ImpairmentSpec``).  Raises :class:`TypeError` for
+        anything else, naming ``field_name``.
+        """
+        if value is None or isinstance(value, cls):
+            return value
+        if isinstance(value, dict):
+            return cls.from_dict(value)
+        raise TypeError(
+            f"{field_name} must be a FixedPointFormat, a dict or None, got {value!r}"
+        )
 
 
 # Formats used throughout the paper's datapath.

@@ -7,7 +7,9 @@ executes them efficiently:
 
 * :class:`~repro.sim.spec.SweepSpec` / :class:`~repro.sim.spec.SweepResult`
   — typed, JSON-round-trippable descriptions of a sweep over SNR,
-  modulation, code rate, stream count, channel model and detector;
+  modulation, code rate, stream count, channel model, detector and
+  front-end impairment (:class:`~repro.sim.spec.ImpairmentSpec`: CFO,
+  timing delay, IQ imbalance, fixed-point word lengths);
 * :class:`~repro.sim.runner.SweepRunner` — fans bursts out over a
   ``multiprocessing`` pool in deterministically seeded batches, stops each
   grid point early once its bit-error target is reached, and serves
@@ -38,6 +40,7 @@ from repro.sim.cache import JsonCache, default_cache_dir
 from repro.sim.runner import SweepRunner, run_sweep
 from repro.sim.spec import (
     ENGINE_VERSION,
+    ImpairmentSpec,
     SweepPoint,
     SweepPointResult,
     SweepResult,
@@ -46,6 +49,7 @@ from repro.sim.spec import (
 
 __all__ = [
     "ENGINE_VERSION",
+    "ImpairmentSpec",
     "JsonCache",
     "SweepPoint",
     "SweepPointResult",

@@ -27,7 +27,7 @@ from repro.channel.model import IdealChannel, MimoChannel
 from repro.core.config import TransceiverConfig
 from repro.core.transceiver import MimoTransceiver
 from repro.exceptions import DecodingError
-from repro.sim.spec import CHANNEL_MODELS, SweepPoint, SweepSpec
+from repro.sim.spec import CHANNEL_MODELS, ImpairmentSpec, SweepPoint, SweepSpec
 from repro.utils.rng import SeedLike, make_rng
 
 #: Entropy tag appended to ``base_seed`` for the shared fading realisation
@@ -37,7 +37,13 @@ _FIXED_FADING_TAG = 0x0FAD
 
 
 def build_config(point: SweepPoint, spec: SweepSpec) -> TransceiverConfig:
-    """Transceiver configuration for one grid cell."""
+    """Transceiver configuration for one grid cell.
+
+    The cell's front-end condition shapes the receiver: a CFO axis enables
+    the preamble-based estimator/corrector, and the RX quantisation formats
+    become the receiver's sample/multiplier word lengths.
+    """
+    impairment = point.impairment or ImpairmentSpec()
     return TransceiverConfig(
         n_antennas=point.n_streams,
         fft_size=spec.fft_size,
@@ -45,6 +51,9 @@ def build_config(point: SweepPoint, spec: SweepSpec) -> TransceiverConfig:
         code_rate=point.code_rate,
         soft_decision=spec.soft_decision,
         detector=point.detector,
+        correct_cfo=impairment.cfo_normalized != 0.0,
+        rx_sample_format=impairment.rx_format,
+        rx_multiplier_format=impairment.rx_multiplier_format,
     )
 
 
@@ -200,6 +209,7 @@ def simulate_batch(task: dict) -> Dict[str, object]:
             point, np.random.default_rng(fixed_fading_seed(spec, point))
         )
 
+    impairment = point.impairment or ImpairmentSpec()
     bursts = []
     local_errors = 0
     for burst_index in range(start_burst, start_burst + n_bursts):
@@ -215,6 +225,11 @@ def simulate_batch(task: dict) -> Dict[str, object]:
             MimoChannel(
                 fading=fading,
                 snr_db=point.snr_db,
+                cfo_normalized=impairment.cfo_normalized,
+                sample_delay=impairment.sample_delay,
+                iq_amplitude_db=impairment.iq_amplitude_db,
+                iq_phase_deg=impairment.iq_phase_deg,
+                tx_quantization=impairment.tx_format,
                 rng=np.random.default_rng(noise_seed),
             )
         )

@@ -58,7 +58,8 @@ class SweepRunner:
     n_workers:
         Pool size; ``None`` uses every CPU.  ``1`` runs inline with no pool
         (no fork overhead — the right choice on single-core hosts and under
-        benchmarks).
+        benchmarks).  Zero or negative raises :class:`ValueError` — it used
+        to silently mean "use every CPU".
     batch_size:
         Bursts per work unit.  Smaller batches give early stopping a finer
         trigger; larger batches amortise task overhead.  The default of 10
@@ -77,7 +78,9 @@ class SweepRunner:
         cache: CacheLike = True,
     ) -> None:
         self.spec = spec
-        self.n_workers = max(1, n_workers if n_workers else (os.cpu_count() or 1))
+        if n_workers is not None and n_workers <= 0:
+            raise ValueError("n_workers must be positive or None")
+        self.n_workers = n_workers if n_workers is not None else (os.cpu_count() or 1)
         if batch_size is not None and batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.batch_size = min(batch_size or 10, spec.n_bursts)
@@ -173,15 +176,21 @@ class SweepRunner:
             decode_failures=decode_failures,
         )
 
-    def _stopped(self, batch_stats: List[dict]) -> bool:
-        """Whether the collected bursts already crossed the error target."""
+    def _target_reached(self, bit_errors: int) -> bool:
+        """Whether a running per-point error total crossed the stop target.
+
+        Callers accumulate each batch's errors into a running total as it
+        is collected (O(1) per batch) instead of re-summing every collected
+        burst after each batch, which made the early-stop check O(B²) per
+        point over a B-batch budget.
+        """
         target = self.spec.target_errors
-        if target is None:
-            return False
-        collected = sum(
-            burst["bit_errors"] for stats in batch_stats for burst in stats["bursts"]
-        )
-        return collected >= target
+        return target is not None and bit_errors >= target
+
+    @staticmethod
+    def _batch_errors(stats: dict) -> int:
+        """Total bit errors of one batch report."""
+        return sum(burst["bit_errors"] for burst in stats["bursts"])
 
     # ------------------------------------------------------------------
     def _run_serial(self, points: List[SweepPoint]):
@@ -195,11 +204,13 @@ class SweepRunner:
         computed = 0
         for point in points:
             collected: List[dict] = []
+            collected_errors = 0
             for task in self._tasks_for(point):
                 stats = simulate_batch(task)
                 collected.append(stats)
                 computed += len(stats["bursts"])
-                if self._stopped(collected):
+                collected_errors += self._batch_errors(stats)
+                if self._target_reached(collected_errors):
                     break
             results.append(self._fold(point, collected))
         return results, computed
@@ -222,6 +233,7 @@ class SweepRunner:
         tasks = {point.index: self._tasks_for(point) for point in points}
         cursors = {point.index: 0 for point in points}
         collected: dict = {point.index: [] for point in points}
+        collected_errors = {point.index: 0 for point in points}
         computed = 0
         context = multiprocessing.get_context()
         with context.Pool(processes=self.n_workers) as pool:
@@ -234,7 +246,7 @@ class SweepRunner:
                         index = point.index
                         if cursors[index] >= len(tasks[index]):
                             continue
-                        if self._stopped(collected[index]):
+                        if self._target_reached(collected_errors[index]):
                             cursors[index] = len(tasks[index])
                             continue
                         wave.append((index, tasks[index][cursors[index]]))
@@ -245,6 +257,7 @@ class SweepRunner:
                 stats = pool.map(simulate_batch, [task for _, task in wave])
                 for (index, _), batch in zip(wave, stats):
                     collected[index].append(batch)
+                    collected_errors[index] += self._batch_errors(batch)
                     computed += len(batch["bursts"])
         return (
             [self._fold(point, collected[point.index]) for point in points],

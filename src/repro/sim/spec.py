@@ -2,11 +2,17 @@
 
 A :class:`SweepSpec` declares a grid of link-simulation operating points —
 the Cartesian product of SNR, modulation, code rate, stream count, channel
-model and detector axes — together with the per-point burst budget, the
-early-stopping error target and the base seed.  :meth:`SweepSpec.points`
-expands the grid into :class:`SweepPoint` cells; the
-:class:`~repro.sim.runner.SweepRunner` simulates each cell into a
+model, detector and front-end impairment axes — together with the per-point
+burst budget, the early-stopping error target and the base seed.
+:meth:`SweepSpec.points` expands the grid into :class:`SweepPoint` cells;
+the :class:`~repro.sim.runner.SweepRunner` simulates each cell into a
 :class:`SweepPointResult` and aggregates them into a :class:`SweepResult`.
+
+:class:`ImpairmentSpec` describes one front-end condition — carrier
+frequency offset, sample-timing delay, IQ imbalance and fixed-point
+quantisation — so the paper's "survives real front-end conditions" claims
+(BER vs CFO, BER vs word length) are sweepable exactly like SNR or
+modulation; ``None`` on the axis is the ideal front end.
 
 Everything here is a plain frozen dataclass with loss-free ``to_dict`` /
 ``from_dict`` round-trips, which is what makes the JSON result cache
@@ -23,9 +29,17 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.dsp.fixedpoint import (
+    FixedPointFormat,
+    MULTIPLIER_FORMAT_18BIT,
+    SAMPLE_FORMAT_16BIT,
+)
+
 #: Bumped whenever the engine's statistics change meaning, so stale cache
 #: entries from an older engine can never be mistaken for fresh results.
-ENGINE_VERSION = 1
+#: Version 2: front-end impairment axes (the expansion order of the grid
+#: gained an axis, so every point's RNG stream moved).
+ENGINE_VERSION = 2
 
 #: Channel models the engine knows how to build (see ``repro.sim.engine``).
 CHANNEL_MODELS = ("ideal", "flat_rayleigh", "frequency_selective")
@@ -41,6 +55,108 @@ def _as_tuple(value, caster) -> tuple:
     if isinstance(value, (str, bytes)) or not isinstance(value, Sequence):
         return (caster(value),)
     return tuple(caster(item) for item in value)
+
+
+@dataclass(frozen=True)
+class ImpairmentSpec:
+    """One front-end condition of the sweep's impairment axis.
+
+    All defaults describe the ideal front end, so partial specs read
+    naturally: ``ImpairmentSpec(cfo_normalized=1e-3)`` is "CFO only".
+
+    Parameters
+    ----------
+    cfo_normalized:
+        Carrier-frequency offset in cycles per sample (the paper's 100 MHz
+        clock makes ``1e-4`` a 10 kHz offset).  A non-zero value makes the
+        engine enable the receiver's preamble-based CFO estimator
+        (``TransceiverConfig.correct_cfo``).
+    sample_delay:
+        Integer sample-timing delay of the burst; exercises the time
+        synchroniser's search.
+    iq_amplitude_db / iq_phase_deg:
+        Receive-mixer IQ amplitude (dB) and phase (degrees) imbalance.
+    tx_format:
+        Optional :class:`~repro.dsp.fixedpoint.FixedPointFormat` quantising
+        the transmit samples (the DAC word length).
+    rx_format:
+        Optional format quantising the received sample stream at the
+        receiver input (``TransceiverConfig.rx_sample_format`` — the
+        paper's 16-bit I/Q interface).
+    rx_multiplier_format:
+        Optional format quantising the receiver's FFT outputs
+        (``TransceiverConfig.rx_multiplier_format`` — the paper's 18-bit
+        embedded multipliers).
+    """
+
+    cfo_normalized: float = 0.0
+    sample_delay: int = 0
+    iq_amplitude_db: float = 0.0
+    iq_phase_deg: float = 0.0
+    tx_format: Optional[FixedPointFormat] = None
+    rx_format: Optional[FixedPointFormat] = None
+    rx_multiplier_format: Optional[FixedPointFormat] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cfo_normalized", float(self.cfo_normalized))
+        object.__setattr__(self, "sample_delay", int(self.sample_delay))
+        object.__setattr__(self, "iq_amplitude_db", float(self.iq_amplitude_db))
+        object.__setattr__(self, "iq_phase_deg", float(self.iq_phase_deg))
+        if self.sample_delay < 0:
+            raise ValueError("sample_delay must be non-negative")
+        for name in ("tx_format", "rx_format", "rx_multiplier_format"):
+            object.__setattr__(
+                self, name, FixedPointFormat.coerce(getattr(self, name), name)
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_ideal(self) -> bool:
+        """True when every field sits at its ideal-front-end default."""
+        return self == ImpairmentSpec()
+
+    @classmethod
+    def quantized(cls, word_length: int, **changes) -> "ImpairmentSpec":
+        """Symmetric TX/RX sample quantisation at ``word_length`` bits.
+
+        Uses ``Q(word_length, word_length - 2)`` — the paper's 16-bit
+        sample format shrunk bit by bit while keeping its ±2.0 full-scale
+        range — which is what a BER-vs-word-length sensitivity curve wants.
+        Extra keyword arguments set other impairment fields.
+        """
+        fmt = FixedPointFormat(word_length=word_length, frac_bits=word_length - 2)
+        return cls(tx_format=fmt, rx_format=fmt, **changes)
+
+    @classmethod
+    def paper_frontend(cls, **changes) -> "ImpairmentSpec":
+        """The paper's fixed-point interfaces: 16-bit samples, 18-bit multipliers."""
+        return cls(
+            tx_format=SAMPLE_FORMAT_16BIT,
+            rx_format=SAMPLE_FORMAT_16BIT,
+            rx_multiplier_format=MULTIPLIER_FORMAT_18BIT,
+            **changes,
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-JSON representation (nested formats become dicts)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ImpairmentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (loss-free)."""
+        return cls(**payload)
+
+
+def _as_impairment(value) -> Optional[ImpairmentSpec]:
+    """Normalise one impairment-axis entry (``None`` = ideal front end)."""
+    if value is None or isinstance(value, ImpairmentSpec):
+        return value
+    if isinstance(value, dict):
+        return ImpairmentSpec.from_dict(value)
+    raise TypeError(
+        f"impairments entries must be ImpairmentSpec, dict or None, got {value!r}"
+    )
 
 
 @dataclass(frozen=True)
@@ -64,6 +180,11 @@ class SweepSpec:
         ``"frequency_selective"``.
     detectors:
         MIMO detectors: ``"zf"`` (paper) or ``"mmse"`` (baseline).
+    impairments:
+        Front-end conditions: :class:`ImpairmentSpec` instances (or their
+        ``to_dict`` payloads), with ``None`` meaning the ideal front end.
+        Like every other axis this participates in the Cartesian product,
+        so BER-vs-CFO or BER-vs-word-length sensitivity grids are one spec.
 
     Per-point simulation budget:
 
@@ -102,6 +223,7 @@ class SweepSpec:
     stream_counts: Tuple[int, ...] = (4,)
     channels: Tuple[str, ...] = ("flat_rayleigh",)
     detectors: Tuple[str, ...] = ("zf",)
+    impairments: Tuple[Optional[ImpairmentSpec], ...] = (None,)
     n_info_bits: int = 512
     n_bursts: int = 100
     target_errors: Optional[int] = 100
@@ -118,6 +240,9 @@ class SweepSpec:
         object.__setattr__(self, "stream_counts", _as_tuple(self.stream_counts, int))
         object.__setattr__(self, "channels", _as_tuple(self.channels, str))
         object.__setattr__(self, "detectors", _as_tuple(self.detectors, str))
+        object.__setattr__(
+            self, "impairments", _as_tuple(self.impairments, _as_impairment)
+        )
         for channel in self.channels:
             if channel not in CHANNEL_MODELS:
                 raise ValueError(
@@ -130,6 +255,10 @@ class SweepSpec:
                 )
         if not self.snr_db:
             raise ValueError("the sweep needs at least one SNR point")
+        if not self.impairments:
+            raise ValueError(
+                "the sweep needs at least one impairment entry (None = ideal)"
+            )
         if self.n_info_bits <= 0:
             raise ValueError("n_info_bits must be positive")
         if self.n_bursts <= 0:
@@ -147,6 +276,7 @@ class SweepSpec:
             * len(self.stream_counts)
             * len(self.channels)
             * len(self.detectors)
+            * len(self.impairments)
             * len(self.snr_db)
         )
 
@@ -163,6 +293,7 @@ class SweepSpec:
             self.stream_counts,
             self.channels,
             self.detectors,
+            self.impairments,
             self.snr_db,
         )
         return [
@@ -174,6 +305,7 @@ class SweepSpec:
                 channel=channel,
                 detector=detector,
                 snr_db=snr,
+                impairment=impairment,
             )
             for index, (
                 modulation,
@@ -181,6 +313,7 @@ class SweepSpec:
                 n_streams,
                 channel,
                 detector,
+                impairment,
                 snr,
             ) in enumerate(cells)
         ]
@@ -214,7 +347,7 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class SweepPoint:
-    """One cell of the sweep grid."""
+    """One cell of the sweep grid (``impairment=None`` = ideal front end)."""
 
     index: int
     modulation: str
@@ -223,6 +356,10 @@ class SweepPoint:
     channel: str
     detector: str
     snr_db: float
+    impairment: Optional[ImpairmentSpec] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "impairment", _as_impairment(self.impairment))
 
     def to_dict(self) -> dict:
         """Plain-JSON representation."""
@@ -230,7 +367,12 @@ class SweepPoint:
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SweepPoint":
-        """Rebuild a point from :meth:`to_dict` output."""
+        """Rebuild a point from :meth:`to_dict` output.
+
+        ``__post_init__`` turns a serialised impairment dict back into an
+        :class:`ImpairmentSpec`, so cached results filter and compare
+        exactly like freshly simulated ones.
+        """
         return cls(**payload)
 
 
@@ -330,11 +472,18 @@ class SweepResult:
         return self._curve("packet_error_rate", filters)
 
     def filter(self, **filters) -> List[SweepPointResult]:
-        """Point results whose grid cell matches every filter field."""
+        """Point results whose grid cell matches every filter field.
+
+        Filters compare against :class:`SweepPoint` attributes by value, so
+        ``impairment=ImpairmentSpec(...)`` (or ``impairment=None`` for the
+        ideal front end) works like any string or numeric axis.
+        """
         matched = []
         for result in self.points:
-            cell = result.point.to_dict()
-            if all(cell[key] == value for key, value in filters.items()):
+            point = result.point
+            if all(
+                getattr(point, key) == value for key, value in filters.items()
+            ):
                 matched.append(result)
         return matched
 

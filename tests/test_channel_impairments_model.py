@@ -10,6 +10,7 @@ from repro.channel.impairments import (
     apply_sample_delay,
 )
 from repro.channel.model import ChannelOutput, IdealChannel, MimoChannel
+from repro.dsp.fixedpoint import SAMPLE_FORMAT_16BIT, FixedPointFormat
 
 
 class TestCarrierFrequencyOffset:
@@ -40,7 +41,7 @@ class TestSampleDelay:
         x = np.arange(1, 6, dtype=complex)
         delayed = apply_sample_delay(x, 3)
         np.testing.assert_allclose(delayed[:3], 0)
-        np.testing.assert_allclose(delayed[3:8], x)
+        np.testing.assert_allclose(delayed[3:], x[:2])
 
     def test_zero_delay(self):
         x = np.arange(5, dtype=complex)
@@ -50,11 +51,22 @@ class TestSampleDelay:
         with pytest.raises(ValueError):
             apply_sample_delay(np.ones(4, dtype=complex), -1)
 
+    @pytest.mark.parametrize("delay", [0, 1, 5, 10, 17])
+    def test_length_preserved(self, delay):
+        # Regression: the delay used to grow the stream by `delay` samples,
+        # breaking the docstring's length-preservation promise.
+        x = np.arange(1, 11, dtype=complex)
+        delayed = apply_sample_delay(x, delay)
+        assert delayed.shape == x.shape
+        np.testing.assert_allclose(delayed[:min(delay, x.size)], 0)
+        np.testing.assert_allclose(delayed[delay:], x[: max(x.size - delay, 0)])
+
     def test_multi_antenna(self):
         x = np.ones((4, 10), dtype=complex)
         delayed = apply_sample_delay(x, 5)
-        assert delayed.shape == (4, 15)
+        assert delayed.shape == (4, 10)
         np.testing.assert_allclose(delayed[:, :5], 0)
+        np.testing.assert_allclose(delayed[:, 5:], 1)
 
 
 class TestIqImbalance:
@@ -106,6 +118,57 @@ class TestMimoChannel:
         x = np.ones((4, 10), dtype=complex)
         output = channel.transmit(x)
         np.testing.assert_allclose(output.samples[:, :7], 0)
+
+    def test_delay_extends_window_without_losing_the_tail(self):
+        # The channel models a receiver that keeps listening while the burst
+        # arrives late: the observation window grows by the delay and every
+        # transmitted sample survives the shift.
+        channel = MimoChannel(sample_delay=7)
+        x = np.arange(1, 41, dtype=complex).reshape(4, 10)
+        output = channel.transmit(x)
+        assert output.samples.shape == (4, 17)
+        np.testing.assert_allclose(output.samples[:, 7:], x)
+
+    def test_iq_imbalance_stage_applied(self):
+        channel = MimoChannel(iq_amplitude_db=1.0, iq_phase_deg=3.0)
+        x = np.exp(1j * np.linspace(0, 2 * np.pi, 64, endpoint=False))
+        x = np.broadcast_to(x, (4, 64))
+        output = channel.transmit(x)
+        np.testing.assert_allclose(
+            output.samples, apply_iq_imbalance(x, 1.0, 3.0)
+        )
+
+    def test_tx_quantization_stage_applied(self):
+        fmt = FixedPointFormat(word_length=6, frac_bits=4)
+        channel = MimoChannel(tx_quantization=fmt)
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(4, 32)) * 0.1 + 1j * rng.normal(size=(4, 32)) * 0.1
+        output = channel.transmit(x)
+        np.testing.assert_allclose(output.samples, fmt.quantize_complex(x))
+        assert not np.allclose(output.samples, x)
+
+    def test_rx_quantization_lands_on_the_grid(self):
+        channel = MimoChannel(snr_db=20.0, rx_quantization=SAMPLE_FORMAT_16BIT, rng=7)
+        x = np.random.default_rng(8).normal(size=(4, 64)) * 0.1 + 0j
+        output = channel.transmit(x)
+        step = SAMPLE_FORMAT_16BIT.resolution
+        np.testing.assert_allclose(
+            output.samples.real / step, np.round(output.samples.real / step), atol=1e-9
+        )
+        np.testing.assert_allclose(
+            output.samples.imag / step, np.round(output.samples.imag / step), atol=1e-9
+        )
+
+    def test_16bit_quantization_is_transparent_at_link_scale(self):
+        # The paper's 16-bit interfaces are effectively lossless for the
+        # baseband's ~0.1 RMS samples: quantisation error is bounded by half
+        # an LSB and tiny against the signal.
+        channel = MimoChannel(
+            tx_quantization=SAMPLE_FORMAT_16BIT, rx_quantization=SAMPLE_FORMAT_16BIT
+        )
+        x = np.random.default_rng(9).normal(size=(4, 128)) * 0.1 + 0j
+        output = channel.transmit(x)
+        assert np.max(np.abs(output.samples - x)) <= SAMPLE_FORMAT_16BIT.resolution
 
     def test_frequency_response_attached_when_requested(self):
         fading = FlatRayleighChannel(rng=4)

@@ -8,6 +8,11 @@ from repro.channel.model import MimoChannel
 from repro.core.config import TransceiverConfig
 from repro.core.receiver import MimoReceiver
 from repro.core.transmitter import MimoTransmitter
+from repro.dsp.fixedpoint import (
+    FixedPointFormat,
+    MULTIPLIER_FORMAT_18BIT,
+    SAMPLE_FORMAT_16BIT,
+)
 from repro.exceptions import ConfigurationError, DecodingError
 
 
@@ -167,3 +172,36 @@ class TestKnownTimingAndValidation:
                 n_info_bits=120,
                 reference_bits=[np.zeros(60, dtype=np.uint8)] * 4,
             )
+
+
+class TestRxQuantization:
+    """The paper's fixed-point RX interfaces (16-bit samples, 18-bit multipliers)."""
+
+    def test_paper_word_lengths_decode_error_free(self):
+        config = TransceiverConfig(
+            rx_sample_format=SAMPLE_FORMAT_16BIT,
+            rx_multiplier_format=MULTIPLIER_FORMAT_18BIT,
+        )
+        burst, result = _loopback(config)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_paper_word_lengths_survive_noise_on_a_faded_link(self):
+        config = TransceiverConfig(rx_sample_format=SAMPLE_FORMAT_16BIT)
+        channel = MimoChannel(FlatRayleighChannel(rng=31), snr_db=35.0, rng=32)
+        burst, result = _loopback(config, channel=channel, seed=13)
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_coarse_sample_format_destroys_the_link(self):
+        # Five bits per I/Q sample leaves the ~0.1-RMS baseband only a few
+        # effective levels: the decoded payload must be garbage.
+        config = TransceiverConfig(
+            rx_sample_format=FixedPointFormat(word_length=5, frac_bits=3)
+        )
+        burst, result = _loopback(config, lts_start=160)
+        assert result.total_bit_errors(burst.info_bits) > 0
+
+    def test_format_fields_validated(self):
+        with pytest.raises(ConfigurationError):
+            TransceiverConfig(rx_sample_format="16bit")
+        with pytest.raises(ConfigurationError):
+            TransceiverConfig(rx_multiplier_format=18)

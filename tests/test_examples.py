@@ -49,3 +49,10 @@ def test_ber_waterfall_small_run():
 def test_streaming_downlink_small_payload():
     output = _run("streaming_downlink.py", "--kilobytes", "1")
     assert "goodput" in output
+
+
+@pytest.mark.slow
+def test_impairment_sensitivity_small_run():
+    output = _run("impairment_sensitivity.py", "--bursts", "1", "--bits", "100")
+    assert "BER vs normalised CFO" in output
+    assert "BER vs TX/RX sample word length" in output

@@ -6,7 +6,12 @@ import numpy as np
 import pytest
 
 import repro.sim.engine as engine
-from repro.sim import JsonCache, SweepRunner, SweepSpec, run_sweep
+from repro.dsp.fixedpoint import (
+    FixedPointFormat,
+    MULTIPLIER_FORMAT_18BIT,
+    SAMPLE_FORMAT_16BIT,
+)
+from repro.sim import ImpairmentSpec, JsonCache, SweepRunner, SweepSpec, run_sweep
 from repro.sim.spec import SweepPoint, SweepPointResult, SweepResult
 
 
@@ -22,6 +27,49 @@ def small_spec(**overrides) -> SweepSpec:
     )
     fields.update(overrides)
     return SweepSpec(**fields)
+
+
+class TestImpairmentSpec:
+    def test_defaults_are_ideal(self):
+        assert ImpairmentSpec().is_ideal
+        assert not ImpairmentSpec(cfo_normalized=1e-3).is_ideal
+
+    def test_dict_round_trip_is_loss_free(self):
+        spec = ImpairmentSpec(
+            cfo_normalized=2e-3,
+            sample_delay=5,
+            iq_amplitude_db=0.5,
+            iq_phase_deg=2.0,
+            tx_format=SAMPLE_FORMAT_16BIT,
+            rx_format=FixedPointFormat(10, 8),
+            rx_multiplier_format=MULTIPLIER_FORMAT_18BIT,
+        )
+        clone = ImpairmentSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.rx_format is not None
+        assert clone.rx_format.word_length == 10
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ImpairmentSpec(sample_delay=-1)
+
+    def test_bad_format_type_rejected(self):
+        with pytest.raises(TypeError):
+            ImpairmentSpec(tx_format="16bit")
+
+    def test_quantized_helper_keeps_full_scale_range(self):
+        spec = ImpairmentSpec.quantized(8, cfo_normalized=1e-3)
+        assert spec.tx_format == spec.rx_format == FixedPointFormat(8, 6)
+        assert spec.tx_format.max_value == pytest.approx(
+            SAMPLE_FORMAT_16BIT.max_value, rel=0.01
+        )
+        assert spec.cfo_normalized == 1e-3
+
+    def test_paper_frontend_formats(self):
+        spec = ImpairmentSpec.paper_frontend()
+        assert spec.tx_format == SAMPLE_FORMAT_16BIT
+        assert spec.rx_format == SAMPLE_FORMAT_16BIT
+        assert spec.rx_multiplier_format == MULTIPLIER_FORMAT_18BIT
 
 
 class TestSweepSpec:
@@ -65,6 +113,52 @@ class TestSweepSpec:
         assert spec.spec_hash() != spec.subset(base_seed=4).spec_hash()
         assert spec.spec_hash() != spec.subset(n_bursts=4).spec_hash()
         assert spec.spec_hash() != spec.subset(snr_db=(8.0, 31.0)).spec_hash()
+        assert (
+            spec.spec_hash()
+            != spec.subset(
+                impairments=(ImpairmentSpec(cfo_normalized=1e-3),)
+            ).spec_hash()
+        )
+
+    def test_impairment_axis_normalisation(self):
+        # Scalars, dict payloads and None all normalise onto the axis.
+        ideal_only = SweepSpec()
+        assert ideal_only.impairments == (None,)
+        single = SweepSpec(impairments=ImpairmentSpec(sample_delay=3))
+        assert single.impairments == (ImpairmentSpec(sample_delay=3),)
+        mixed = SweepSpec(
+            impairments=[None, {"cfo_normalized": 1e-3}, ImpairmentSpec.quantized(8)]
+        )
+        assert mixed.impairments == (
+            None,
+            ImpairmentSpec(cfo_normalized=1e-3),
+            ImpairmentSpec.quantized(8),
+        )
+        with pytest.raises(TypeError):
+            SweepSpec(impairments=("bad",))
+        with pytest.raises(ValueError):
+            SweepSpec(impairments=())
+
+    def test_impairment_axis_multiplies_grid(self):
+        spec = SweepSpec(
+            snr_db=(0.0, 10.0),
+            impairments=(None, ImpairmentSpec(cfo_normalized=1e-3)),
+        )
+        points = spec.points()
+        assert len(points) == spec.n_points == 4
+        # SNR still varies fastest; impairment varies next.
+        assert [p.snr_db for p in points] == [0.0, 10.0, 0.0, 10.0]
+        assert [p.impairment for p in points[:2]] == [None, None]
+        assert points[2].impairment == ImpairmentSpec(cfo_normalized=1e-3)
+
+    def test_impairment_spec_round_trip_through_json(self):
+        spec = small_spec(
+            impairments=(None, ImpairmentSpec.quantized(8, cfo_normalized=2e-3))
+        )
+        clone = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+        assert clone.points()[2].impairment == spec.impairments[1]
 
     def test_result_round_trip(self):
         spec = small_spec()
@@ -127,8 +221,36 @@ class TestEngine:
             fading = engine.build_fading(point, np.random.default_rng(0))
             assert fading.n_rx == fading.n_tx == point.n_streams
 
+    def test_build_config_wires_the_impairment_into_the_receiver(self):
+        spec = small_spec()
+        impairment = ImpairmentSpec.paper_frontend(cfo_normalized=1e-3)
+        point = spec.subset(impairments=(impairment,)).points()[0]
+        config = engine.build_config(point, spec)
+        assert config.correct_cfo  # a CFO axis enables the estimator
+        assert config.rx_sample_format == SAMPLE_FORMAT_16BIT
+        assert config.rx_multiplier_format == MULTIPLIER_FORMAT_18BIT
+
+    def test_build_config_ideal_front_end_stays_floating_point(self):
+        spec = small_spec()
+        config = engine.build_config(spec.points()[0], spec)
+        assert not config.correct_cfo
+        assert config.rx_sample_format is None
+        assert config.rx_multiplier_format is None
+
 
 class TestSweepRunner:
+    @pytest.mark.parametrize("n_workers", [0, -1, -8])
+    def test_non_positive_worker_count_rejected(self, n_workers):
+        # Regression: 0/negative used to silently mean "use every CPU".
+        with pytest.raises(ValueError):
+            SweepRunner(small_spec(), n_workers=n_workers)
+
+    def test_none_workers_uses_every_cpu(self):
+        import os
+
+        runner = SweepRunner(small_spec(), n_workers=None, cache=False)
+        assert runner.n_workers == (os.cpu_count() or 1)
+
     def test_results_are_deterministic(self, tmp_path):
         a = SweepRunner(small_spec(), n_workers=1, cache=False).run()
         b = SweepRunner(small_spec(), n_workers=1, cache=False).run()
@@ -164,6 +286,20 @@ class TestSweepRunner:
         assert [(p.bit_errors, p.total_bits, p.frame_errors) for p in serial.points] == [
             (p.bit_errors, p.total_bits, p.frame_errors) for p in pooled.points
         ]
+
+    def test_early_stopped_pool_matches_serial_bit_for_bit(self):
+        # The running per-point error total that gates batch dispatch must
+        # leave the statistics exactly where the old full-rescan logic did,
+        # for both execution paths.
+        spec = small_spec(snr_db=(8.0,), n_bursts=12, target_errors=150)
+        serial = SweepRunner(spec, n_workers=1, cache=False, batch_size=2).run()
+        pooled = SweepRunner(spec, n_workers=3, cache=False, batch_size=2).run()
+        stats = lambda r: [
+            (p.bit_errors, p.total_bits, p.frame_errors, p.n_bursts, p.early_stopped)
+            for p in r.points
+        ]
+        assert stats(serial) == stats(pooled)
+        assert serial.points[0].early_stopped
 
     def test_early_stopping_cuts_burst_count(self):
         # 8 dB QPSK over fresh Rayleigh fading is error-rich: a single burst
@@ -215,6 +351,44 @@ class TestSweepRunner:
         result = SweepRunner(spec, n_workers=1, cache=False).run()
         detectors = {p.point.detector for p in result.points}
         assert detectors == {"zf", "mmse"}
+
+    def test_impairment_axis_degrades_the_link(self):
+        # A coarse 6-bit front end must do no better than the ideal one at
+        # the same operating point; at 15 dB QPSK it is strictly worse.
+        spec = small_spec(
+            snr_db=(15.0,),
+            n_bursts=2,
+            impairments=(None, ImpairmentSpec.quantized(6)),
+            fresh_fading_per_burst=False,
+        )
+        result = SweepRunner(spec, n_workers=1, cache=False).run()
+        ideal = result.filter(impairment=None)[0]
+        coarse = result.filter(impairment=ImpairmentSpec.quantized(6))[0]
+        assert coarse.bit_errors > ideal.bit_errors
+
+    def test_cfo_axis_is_corrected_at_high_snr(self):
+        # The engine flips on the receiver's CFO estimator for CFO points;
+        # at 30 dB a 2e-3 offset must decode cleanly.
+        spec = small_spec(
+            snr_db=(30.0,),
+            n_bursts=2,
+            impairments=(ImpairmentSpec(cfo_normalized=2e-3),),
+        )
+        result = SweepRunner(spec, n_workers=1, cache=False).run()
+        assert result.points[0].bit_errors == 0
+
+    def test_impairment_sweep_cache_round_trip(self, tmp_path):
+        impairment = ImpairmentSpec.quantized(8, cfo_normalized=1e-3)
+        spec = small_spec(n_bursts=2, impairments=(None, impairment))
+        first = SweepRunner(spec, n_workers=1, cache=tmp_path).run()
+        second = SweepRunner(spec, n_workers=1, cache=tmp_path).run()
+        assert second.from_cache and second.n_bursts_simulated == 0
+        # The cached points rebuild real ImpairmentSpec objects: value
+        # filters and curves keep working after the round trip.
+        assert second.ber_curve(impairment=impairment) == first.ber_curve(
+            impairment=impairment
+        )
+        assert second.points[2].point.impairment == impairment
 
     def test_fixed_fading_is_shared_across_points(self):
         # In shared-fading mode the high-SNR point must be at least as good

@@ -10,6 +10,7 @@ from repro.core.preamble import PreambleGenerator
 from repro.core.transceiver import simulate_link
 from repro.channel.fading import FlatRayleighChannel
 from repro.channel.model import MimoChannel
+from repro.dsp.fixedpoint import SAMPLE_FORMAT_16BIT
 from repro.exceptions import SynchronizationError
 from repro.sync.cfo import (
     CfoEstimator,
@@ -91,6 +92,40 @@ class TestCfoEstimator:
         shifted = apply_carrier_frequency_offset(samples, 0.007)
         np.testing.assert_allclose(apply_cfo_correction(shifted, 0.007), samples, atol=1e-12)
 
+    @pytest.mark.parametrize("sign", [1.0, -1.0])
+    def test_fine_ambiguity_boundary_unwrapped_by_coarse(self, preamble_waveform, sign):
+        # At |CFO| = 1/(2*fft_size) the LTS repetition phase is exactly pi,
+        # so the raw fine estimate can come back with either sign; the
+        # coarse estimate must pick the right 1/fft_size multiple.
+        estimator = CfoEstimator(64)
+        true_cfo = sign * estimator.fine_range
+        shifted = apply_carrier_frequency_offset(preamble_waveform, true_cfo)
+        estimate = estimator.estimate(shifted, lts_start=160)
+        assert abs(estimate.fine) <= estimator.fine_range + 1e-9
+        assert estimate.combined == pytest.approx(true_cfo, abs=1e-5)
+
+    def test_cfo_beyond_fine_range_recovered_by_unwrap(self, preamble_waveform):
+        # 15 % past the fine ambiguity boundary: the fine estimate wraps to
+        # the other side of zero and only the coarse unwrap recovers it.
+        estimator = CfoEstimator(64)
+        true_cfo = 1.15 * estimator.fine_range
+        shifted = apply_carrier_frequency_offset(preamble_waveform, true_cfo)
+        estimate = estimator.estimate(shifted, lts_start=160)
+        assert estimate.fine != pytest.approx(true_cfo, abs=1e-4)
+        assert estimate.combined == pytest.approx(true_cfo, abs=1e-5)
+
+    def test_sts_start_negative_falls_back_to_fine_only(self, preamble_waveform):
+        # When the stream starts mid-STS (lts_start < STS length) the coarse
+        # stage has nothing to correlate and must drop out as 0.0 instead of
+        # reading before the start of the buffer.
+        estimator = CfoEstimator(64)
+        true_cfo = 3e-3
+        shifted = apply_carrier_frequency_offset(preamble_waveform, true_cfo)
+        truncated = shifted[:, 120:]  # LTS slot 0 now starts at sample 40.
+        estimate = estimator.estimate(truncated, lts_start=40)
+        assert estimate.coarse == 0.0
+        assert estimate.combined == pytest.approx(true_cfo, abs=1e-5)
+
 
 class TestReceiverIntegration:
     def test_large_cfo_breaks_uncorrected_link(self):
@@ -119,3 +154,23 @@ class TestReceiverIntegration:
         result = transceiver.run_burst(150, rng=2)
         assert result.receive_result.diagnostics["estimated_cfo"] == pytest.approx(3e-3, abs=2e-4)
         assert result.bit_errors == 0
+
+    def test_burst_recovery_with_cfo_iq_and_quantization_together(self):
+        # The paper's front-end conditions combined: CFO, mixer IQ
+        # imbalance and 16-bit DAC/ADC quantisation on a faded link.  The
+        # CFO estimator runs on already-quantised samples and the link must
+        # still decode cleanly at high SNR.
+        channel = MimoChannel(
+            FlatRayleighChannel(rng=26),
+            snr_db=35.0,
+            rng=27,
+            cfo_normalized=2e-3,
+            iq_amplitude_db=0.2,
+            iq_phase_deg=1.0,
+            tx_quantization=SAMPLE_FORMAT_16BIT,
+        )
+        config = TransceiverConfig(
+            correct_cfo=True, rx_sample_format=SAMPLE_FORMAT_16BIT
+        )
+        stats = simulate_link(config, channel, n_info_bits=200, n_bursts=1, rng=1)
+        assert stats["bit_error_rate"] == 0.0
