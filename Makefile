@@ -4,13 +4,14 @@
 #   make test-fast         - unit tests only (skips the benchmark harness)
 #   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
 #   make bench-impairments - front-end impairment grid smoke (CFO x word length x SNR)
+#   make bench-rx          - batched receiver datapath vs per-symbol loop speedup
 #   make docs-check        - fail if any public module lacks a module docstring
 #   make clean-cache       - drop the repro.sim JSON result cache
 
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench-smoke bench-impairments docs-check clean-cache
+.PHONY: test test-fast bench-smoke bench-impairments bench-rx docs-check clean-cache
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -23,6 +24,9 @@ bench-smoke:
 
 bench-impairments:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_impairment_sweep.py -q --benchmark-disable
+
+bench-rx:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_rx_datapath.py -q --benchmark-disable -s
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

@@ -29,6 +29,20 @@ class PilotCorrection:
     pilot_magnitude: float
 
 
+@dataclass(frozen=True)
+class PilotBlockCorrection:
+    """Diagnostics of the pilot corrections for a whole block of symbols.
+
+    Each field is an array shaped like the corrected block without its
+    subcarrier axis (e.g. ``(n_streams, n_symbols)`` for a burst), holding
+    per-symbol what :class:`PilotCorrection` holds for one symbol.
+    """
+
+    common_phase: np.ndarray
+    tau: np.ndarray
+    pilot_magnitude: np.ndarray
+
+
 class PilotProcessor:
     """Insert pilots on the transmitter and correct phase/timing on the receiver."""
 
@@ -108,6 +122,77 @@ class PilotProcessor:
         symbol = symbol * np.exp(-1j * tau * logical)
         magnitude = float(np.mean(np.abs(measured)))
         return symbol, PilotCorrection(
+            common_phase=common_phase, tau=tau, pilot_magnitude=magnitude
+        )
+
+    def correct_block(
+        self, block: np.ndarray, start_index: int = 0
+    ) -> tuple[np.ndarray, PilotBlockCorrection]:
+        """Vectorised :meth:`correct` across a whole block of OFDM symbols.
+
+        Parameters
+        ----------
+        block:
+            Equalised frequency-domain symbols with the subcarrier axis last
+            and the symbol axis second-to-last: shape ``(..., n_symbols,
+            fft_size)``.  Any further leading axes (spatial streams) are
+            corrected independently.
+        start_index:
+            Burst index of the first symbol along the symbol axis (selects
+            the pilot polarities).
+
+        Returns
+        -------
+        (corrected_block, diagnostics)
+            Bit-identical to calling :meth:`correct` on every ``(...,
+            n, :)`` slice with symbol index ``start_index + n`` — every
+            reduction runs over the same pilot values in the same order, and
+            symbols whose pilot correlation is exactly zero are left
+            untouched with zeroed diagnostics, exactly like the scalar
+            early-return.
+        """
+        # A C-contiguous operand is required for bit-exactness, not speed:
+        # numpy picks its pairwise-reduction strategy from the strides, so
+        # summing pilots out of a non-contiguous block (einsum output) can
+        # differ from the scalar reference in the last ULP.
+        symbols = np.ascontiguousarray(block, dtype=np.complex128)
+        if symbols.ndim < 2:
+            raise ValueError("block must have shape (..., n_symbols, fft_size)")
+        if symbols.shape[-1] != self.numerology.fft_size:
+            raise ValueError("frequency-domain symbols have the wrong length")
+        n_symbols = symbols.shape[-2]
+        pilot_bins = list(self.numerology.pilot_bins)
+
+        base = np.array(self.numerology.pilot_values, dtype=np.complex128)
+        polarity = self._polarity[
+            (start_index + np.arange(n_symbols)) % self._polarity.size
+        ].astype(np.float64)
+        # (n_symbols, n_pilots) — row n is pilot_values(start_index + n).
+        expected = base * polarity[:, None]
+
+        measured = symbols[..., pilot_bins]
+        correlation = np.sum(measured * np.conj(expected), axis=-1)
+        zero = np.abs(correlation) == 0
+
+        # --- common phase correction (de-scrambled pilot average) ---------
+        common_phase = np.where(zero, 0.0, np.angle(correlation))
+        symbols = symbols * np.exp(-1j * common_phase)[..., None]
+
+        # --- feed-forward timing correction (tau) -------------------------
+        measured = symbols[..., pilot_bins]
+        pilot_indices = np.array(self.numerology.pilot_logical, dtype=np.float64)
+        phases = np.angle(measured * np.conj(expected))
+        weights = np.abs(measured)
+        denom = np.sum(weights * pilot_indices * pilot_indices, axis=-1)
+        numer = np.sum(weights * pilot_indices * phases, axis=-1)
+        valid = ~zero & (denom != 0)
+        tau = np.zeros_like(denom)
+        np.divide(numer, denom, out=tau, where=valid)
+
+        logical = self._logical_index_vector()
+        symbols = symbols * np.exp(-1j * tau[..., None] * logical)
+        magnitude = np.where(zero, 0.0, np.mean(np.abs(measured), axis=-1))
+        return symbols, PilotBlockCorrection(
             common_phase=common_phase, tau=tau, pilot_magnitude=magnitude
         )
 

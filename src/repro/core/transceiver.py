@@ -71,10 +71,13 @@ class MimoTransceiver:
         config: Optional[TransceiverConfig] = None,
         channel: Optional[MimoChannel] = None,
         sync_mode: str = "peak",
+        vectorized_rx: bool = True,
     ) -> None:
         self.config = config if config is not None else TransceiverConfig()
         self.transmitter = MimoTransmitter(self.config)
-        self.receiver = MimoReceiver(self.config, sync_mode=sync_mode)
+        self.receiver = MimoReceiver(
+            self.config, sync_mode=sync_mode, vectorized=vectorized_rx
+        )
         self.channel = channel if channel is not None else MimoChannel()
         if self.channel.n_tx != self.config.n_antennas:
             raise ValueError("channel antenna count does not match the configuration")

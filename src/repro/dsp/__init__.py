@@ -17,9 +17,11 @@ from repro.dsp.cordic import (
 from repro.dsp.correlation import SlidingWindowCorrelator, cross_correlate
 from repro.dsp.fft import (
     Fft,
+    FftPlan,
     bit_reverse_indices,
     fft,
     fixed_point_fft,
+    get_plan,
     ifft,
     ofdm_modulate,
     ofdm_demodulate,
@@ -36,8 +38,10 @@ __all__ = [
     "SlidingWindowCorrelator",
     "cross_correlate",
     "Fft",
+    "FftPlan",
     "bit_reverse_indices",
     "fft",
+    "get_plan",
     "ifft",
     "fixed_point_fft",
     "ofdm_modulate",

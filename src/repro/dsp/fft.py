@@ -5,12 +5,16 @@ IFFT per antenna and the receiver converts back with an FFT per antenna
 (64-point in the evaluated configuration, with a 512-point variant discussed
 in Section V).  This module provides:
 
+* :class:`FftPlan` / :func:`get_plan` — a cached transform *plan* per size
+  (bit-reverse permutation and per-stage twiddle tables computed once), so
+  hot loops never rebuild them per call;
 * :func:`fft` / :func:`ifft` — an in-house iterative radix-2
   decimation-in-time implementation (mirroring a streaming hardware core) so
   the reproduction does not silently depend on ``numpy.fft`` for its core
-  datapath;
+  datapath; both batch over arbitrary leading axes;
 * :func:`fixed_point_fft` — the same butterflies with per-stage quantisation
-  and per-stage scaling, modelling the finite word length of an FPGA FFT core;
+  and per-stage scaling, modelling the finite word length of an FPGA FFT
+  core; batches over leading axes exactly like the float path;
 * :class:`Fft` — an object wrapper that also reports the pipeline latency and
   feeds the hardware resource model;
 * :func:`ofdm_modulate` / :func:`ofdm_demodulate` — the IFFT + cyclic prefix
@@ -19,8 +23,8 @@ in Section V).  This module provides:
 
 from __future__ import annotations
 
-import math
-from typing import Optional
+from functools import lru_cache
+from typing import List, Optional
 
 import numpy as np
 
@@ -43,36 +47,113 @@ def bit_reverse_indices(n: int) -> np.ndarray:
     return reversed_indices
 
 
+class FftPlan:
+    """Precomputed radix-2 transform data for one FFT size.
+
+    A plan owns everything about the transform that depends only on its
+    size — the bit-reverse input permutation and one twiddle table per
+    butterfly stage, for both transform directions.  The batched receive
+    chain runs thousands of transforms per burst; computing these tables
+    once per size (see :func:`get_plan`) instead of once per call is what
+    makes the FFT itself disappear from the profile.
+
+    The tables hold exactly the values the original per-call code computed
+    (same ``np.exp`` expressions), so planned transforms are bit-identical
+    to the historical unplanned ones.
+    """
+
+    def __init__(self, size: int) -> None:
+        _validate_power_of_two(size)
+        self.size = size
+        self.stages = size.bit_length() - 1
+        self.bit_reverse = bit_reverse_indices(size)
+        self.forward_twiddles: List[np.ndarray] = []
+        self.inverse_twiddles: List[np.ndarray] = []
+        for stage in range(1, self.stages + 1):
+            m = 1 << stage
+            half = m // 2
+            self.forward_twiddles.append(np.exp(-2j * np.pi * np.arange(half) / m))
+            self.inverse_twiddles.append(np.exp(2j * np.pi * np.arange(half) / m))
+
+    def _twiddles(self, inverse: bool) -> List[np.ndarray]:
+        return self.inverse_twiddles if inverse else self.forward_twiddles
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward FFT over the last axis (any leading batch axes)."""
+        n = self.size
+        data = np.asarray(x, dtype=np.complex128)
+        if data.shape[-1] != n:
+            raise ValueError(f"expected last axis of {n} samples, got {data.shape[-1]}")
+        work = data[..., self.bit_reverse].copy()
+        for stage, twiddles in enumerate(self.forward_twiddles, start=1):
+            m = 1 << stage
+            half = m // 2
+            work = work.reshape(*work.shape[:-1], n // m, m)
+            upper = work[..., :half]
+            lower = work[..., half:] * twiddles
+            work = np.concatenate([upper + lower, upper - lower], axis=-1)
+            work = work.reshape(*work.shape[:-2], n)
+        return work
+
+    def inverse(self, x: np.ndarray) -> np.ndarray:
+        """Inverse FFT over the last axis (``1/N`` normalisation)."""
+        data = np.asarray(x, dtype=np.complex128)
+        return np.conj(self.forward(np.conj(data))) / self.size
+
+    def fixed_point(
+        self,
+        x: np.ndarray,
+        fmt: FixedPointFormat,
+        inverse: bool = False,
+        scale_per_stage: bool = True,
+    ) -> np.ndarray:
+        """Quantised transform over the last axis (any leading batch axes).
+
+        Shares the plan's tables with the float path; see
+        :func:`fixed_point_fft` for the scaling semantics.
+        """
+        n = self.size
+        data = np.asarray(x, dtype=np.complex128)
+        if data.shape[-1] != n:
+            raise ValueError(f"expected last axis of {n} samples, got {data.shape[-1]}")
+        work = fmt.quantize_complex(data[..., self.bit_reverse])
+        for stage, twiddles in enumerate(self._twiddles(inverse), start=1):
+            m = 1 << stage
+            half = m // 2
+            work = work.reshape(*work.shape[:-1], n // m, m)
+            upper = work[..., :half]
+            lower = work[..., half:] * twiddles
+            combined = np.concatenate([upper + lower, upper - lower], axis=-1)
+            if scale_per_stage:
+                combined = combined / 2.0
+            work = fmt.quantize_complex(combined).reshape(*combined.shape[:-2], n)
+        return work
+
+
+@lru_cache(maxsize=32)
+def get_plan(size: int) -> FftPlan:
+    """The shared :class:`FftPlan` for ``size`` (built once per process)."""
+    return FftPlan(size)
+
+
 def fft(x: np.ndarray) -> np.ndarray:
     """Iterative radix-2 decimation-in-time FFT.
 
     Matches ``numpy.fft.fft`` to floating-point precision; implemented
     explicitly so the butterfly structure mirrors the streaming hardware core
-    and so the fixed-point variant can share the same code path.
+    and so the fixed-point variant can share the same code path.  Batches
+    over arbitrary leading axes, transforming the last axis; the permutation
+    and twiddles come from the cached per-size :class:`FftPlan`.
     """
     data = np.asarray(x, dtype=np.complex128)
-    n = data.shape[-1]
-    _validate_power_of_two(n)
-    work = data[..., bit_reverse_indices(n)].copy()
-    stages = n.bit_length() - 1
-    for stage in range(1, stages + 1):
-        m = 1 << stage
-        half = m // 2
-        twiddles = np.exp(-2j * np.pi * np.arange(half) / m)
-        work = work.reshape(*work.shape[:-1], n // m, m)
-        upper = work[..., :half]
-        lower = work[..., half:] * twiddles
-        work = np.concatenate([upper + lower, upper - lower], axis=-1)
-        work = work.reshape(*work.shape[:-2], n)
-    return work
+    return get_plan(data.shape[-1]).forward(data)
 
 
 def ifft(x: np.ndarray) -> np.ndarray:
     """Inverse FFT matching ``numpy.fft.ifft`` (1/N normalisation)."""
     data = np.asarray(x, dtype=np.complex128)
-    n = data.shape[-1]
-    _validate_power_of_two(n)
-    return np.conj(fft(np.conj(data))) / n
+    return get_plan(data.shape[-1]).inverse(data)
 
 
 def fixed_point_fft(
@@ -86,7 +167,8 @@ def fixed_point_fft(
     Parameters
     ----------
     x:
-        Input samples (1-D).
+        Input samples; the last axis is transformed and any leading axes are
+        batched over, exactly like the float :func:`fft` path.
     fmt:
         Fixed-point format applied to the datapath after every butterfly
         stage.
@@ -100,25 +182,9 @@ def fixed_point_fft(
         ``N`` afterwards.
     """
     data = np.asarray(x, dtype=np.complex128)
-    if data.ndim != 1:
-        raise ValueError("fixed_point_fft operates on 1-D inputs")
-    n = data.size
-    _validate_power_of_two(n)
-    sign = 1.0 if inverse else -1.0
-    work = fmt.quantize_complex(data[bit_reverse_indices(n)])
-    stages = n.bit_length() - 1
-    for stage in range(1, stages + 1):
-        m = 1 << stage
-        half = m // 2
-        twiddles = np.exp(sign * 2j * np.pi * np.arange(half) / m)
-        work = work.reshape(n // m, m)
-        upper = work[:, :half]
-        lower = work[:, half:] * twiddles
-        combined = np.concatenate([upper + lower, upper - lower], axis=1)
-        if scale_per_stage:
-            combined = combined / 2.0
-        work = fmt.quantize_complex(combined).reshape(-1)
-    return work
+    return get_plan(data.shape[-1]).fixed_point(
+        data, fmt, inverse=inverse, scale_per_stage=scale_per_stage
+    )
 
 
 class Fft:
@@ -140,6 +206,7 @@ class Fft:
         _validate_power_of_two(size)
         self.size = size
         self.fixed_format = fixed_format
+        self.plan = get_plan(size)
 
     @property
     def stages(self) -> int:
@@ -152,22 +219,22 @@ class Fft:
         return self.size + self.stages * self.PIPELINE_DEPTH_PER_STAGE
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        """Forward FFT of a length-``size`` block."""
+        """Forward FFT of length-``size`` blocks (leading axes batched)."""
         data = np.asarray(x, dtype=np.complex128)
         if data.shape[-1] != self.size:
             raise ValueError(f"expected block of {self.size} samples, got {data.shape[-1]}")
         if self.fixed_format is None:
-            return fft(data)
-        return fixed_point_fft(data, self.fixed_format, inverse=False) * self.size
+            return self.plan.forward(data)
+        return self.plan.fixed_point(data, self.fixed_format, inverse=False) * self.size
 
     def inverse(self, x: np.ndarray) -> np.ndarray:
-        """Inverse FFT of a length-``size`` block."""
+        """Inverse FFT of length-``size`` blocks (leading axes batched)."""
         data = np.asarray(x, dtype=np.complex128)
         if data.shape[-1] != self.size:
             raise ValueError(f"expected block of {self.size} samples, got {data.shape[-1]}")
         if self.fixed_format is None:
-            return ifft(data)
-        return fixed_point_fft(data, self.fixed_format, inverse=True)
+            return self.plan.inverse(data)
+        return self.plan.fixed_point(data, self.fixed_format, inverse=True)
 
 
 def ofdm_modulate(

@@ -14,8 +14,35 @@ from typing import Optional
 
 import numpy as np
 
+from repro.exceptions import DecodingError
 from repro.mimo.channel_estimation import ChannelEstimate
 from repro.mimo.matrix import hermitian
+
+
+def _apply_per_subcarrier(weights: np.ndarray, received: np.ndarray) -> np.ndarray:
+    """Multiply per-subcarrier weight matrices into received vectors.
+
+    ``weights`` has shape ``(fft_size, n_out, n_rx)``.  ``received`` is either
+    one OFDM symbol, shape ``(n_rx, fft_size)``, or a whole burst of them,
+    shape ``(n_rx, n_symbols, fft_size)``; the result keeps the layout with
+    ``n_out`` replacing ``n_rx``.  Both forms contract the antenna axis in the
+    same index order, so the batched product is bit-identical to applying the
+    2-D form symbol by symbol.
+    """
+    y = np.asarray(received, dtype=np.complex128)
+    if y.ndim == 2:
+        if weights.shape[0] != y.shape[1]:
+            raise ValueError("weights and received disagree on the FFT size")
+        # einsum over subcarriers: x_hat[:, k] = W[k] @ y[:, k]
+        return np.einsum("kij,jk->ik", weights, y)
+    if y.ndim == 3:
+        if weights.shape[0] != y.shape[2]:
+            raise ValueError("weights and received disagree on the FFT size")
+        # one contraction for the whole burst: x_hat[:, n, k] = W[k] @ y[:, n, k]
+        return np.einsum("kij,jnk->ink", weights, y)
+    raise ValueError(
+        "received must have shape (n_rx, fft_size) or (n_rx, n_symbols, fft_size)"
+    )
 
 
 def zf_detect(received: np.ndarray, channel_inverses: np.ndarray) -> np.ndarray:
@@ -24,22 +51,21 @@ def zf_detect(received: np.ndarray, channel_inverses: np.ndarray) -> np.ndarray:
     Parameters
     ----------
     received:
-        Frequency-domain received symbols, shape ``(n_rx, fft_size)``.
+        Frequency-domain received symbols — one OFDM symbol of shape
+        ``(n_rx, fft_size)``, or a whole burst of shape
+        ``(n_rx, n_symbols, fft_size)``.
     channel_inverses:
         Pre-computed inverse channel matrices, shape ``(fft_size, n_tx, n_rx)``.
 
     Returns
     -------
-    Equalised transmit-stream estimates, shape ``(n_tx, fft_size)``.
+    Equalised transmit-stream estimates, shape ``(n_tx, fft_size)`` or
+    ``(n_tx, n_symbols, fft_size)`` matching the input form.
     """
-    y = np.asarray(received, dtype=np.complex128)
     inv = np.asarray(channel_inverses, dtype=np.complex128)
-    if y.ndim != 2:
-        raise ValueError("received must have shape (n_rx, fft_size)")
-    if inv.ndim != 3 or inv.shape[0] != y.shape[1]:
+    if inv.ndim != 3:
         raise ValueError("channel_inverses must have shape (fft_size, n_tx, n_rx)")
-    # einsum over subcarriers: x_hat[:, k] = inv[k] @ y[:, k]
-    return np.einsum("kij,jk->ik", inv, y)
+    return _apply_per_subcarrier(inv, received)
 
 
 class ZeroForcingDetector:
@@ -90,12 +116,21 @@ class MmseDetector:
         for k in np.nonzero(self.estimate.active_mask)[0]:
             hk = h[k]
             gram = hermitian(hk) @ hk + self.noise_variance * identity
-            weights[k] = np.linalg.solve(gram, hermitian(hk))
+            try:
+                weights[k] = np.linalg.solve(gram, hermitian(hk))
+            except np.linalg.LinAlgError as error:
+                # With noise_variance == 0 the regulariser vanishes and a
+                # rank-deficient channel estimate makes the Gram matrix
+                # exactly singular.  That is a property of the burst, not a
+                # programming error: surface it as the receive-chain failure
+                # the sweep engine already counts as a lost frame.
+                raise DecodingError(
+                    f"MMSE Gram matrix is singular on subcarrier {k} "
+                    f"(noise_variance={self.noise_variance})"
+                ) from error
         return weights
 
     def detect(self, received: np.ndarray) -> np.ndarray:
-        """Equalise ``received`` of shape ``(n_rx, fft_size)``."""
-        y = np.asarray(received, dtype=np.complex128)
-        if y.ndim != 2 or y.shape[1] != self._weights.shape[0]:
-            raise ValueError("received must have shape (n_rx, fft_size)")
-        return np.einsum("kij,jk->ik", self._weights, y)
+        """Equalise one symbol ``(n_rx, fft_size)`` or a burst
+        ``(n_rx, n_symbols, fft_size)``."""
+        return _apply_per_subcarrier(self._weights, received)

@@ -83,14 +83,20 @@ class JsonCache:
         return path
 
     def clear(self) -> int:
-        """Delete every entry; returns the number of files removed."""
+        """Delete every entry and stale temp file; returns the number removed.
+
+        An interrupted :meth:`put` (process killed between ``mkstemp`` and
+        ``os.replace``) leaves a ``.<key>.<random>.tmp`` file behind; those
+        are part of the store and must not survive a clear.
+        """
         removed = 0
         if not self.directory.is_dir():
             return removed
-        for path in self.directory.glob("*.json"):
-            try:
-                path.unlink()
-                removed += 1
-            except OSError:
-                pass
+        for pattern in ("*.json", ".*.tmp"):
+            for path in self.directory.glob(pattern):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
         return removed

@@ -246,10 +246,12 @@ def simulate_batch(task: dict) -> Dict[str, object]:
                 "decode_failure": 0,
             }
         except DecodingError:
-            # Deep in the noise the time synchroniser can miss the burst
-            # entirely and the receiver gives up.  A sweep over extreme
-            # operating points must survive that: count the burst as a
-            # fully errored frame (every payload bit lost) and move on.
+            # Deep in the noise the receiver gives up: the time synchroniser
+            # misses the burst entirely, locks onto a window that starts
+            # before the first received sample, or a rank-deficient estimate
+            # leaves the MMSE weights unsolvable.  A sweep over extreme
+            # operating points must survive all of those: count the burst as
+            # a fully errored frame (every payload bit lost) and move on.
             lost_bits = spec.n_info_bits * point.n_streams
             burst = {
                 "bit_errors": lost_bits,

@@ -162,6 +162,41 @@ class TestKnownTimingAndValidation:
         with pytest.raises(DecodingError):
             receiver.receive(truncated, n_info_bits=120, lts_start=160)
 
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_window_before_burst_start_raises(self, paper_config, vectorized):
+        # Regression: a too-small LTS hypothesis used to be clamped with
+        # max(start, 0), silently decoding garbage from a misaligned window;
+        # it must raise DecodingError like every other decode failure.
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config, vectorized=vectorized)
+        burst = transmitter.transmit_random(120, rng=np.random.default_rng(11))
+        with pytest.raises(DecodingError):
+            receiver.receive(burst.samples, n_info_bits=120, lts_start=-200)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_equalize_burst_past_end_raises(self, paper_config, vectorized):
+        # Direct callers of equalize_burst get the same DecodingError as
+        # receive() when the windows run past the received samples, not a
+        # raw IndexError from the gather.
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config, vectorized=vectorized)
+        burst = transmitter.transmit_random(120, rng=np.random.default_rng(11))
+        estimate = receiver.estimate_channel(burst.samples, 160)
+        layout = receiver.preamble.layout(paper_config.n_antennas)
+        data_start = 160 + paper_config.n_antennas * layout.lts_slot_length
+        with pytest.raises(DecodingError):
+            receiver.equalize_burst(
+                burst.samples, estimate, data_start, n_symbols=10_000
+            )
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_lts_window_before_burst_start_raises(self, paper_config, vectorized):
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config, vectorized=vectorized)
+        burst = transmitter.transmit_random(120, rng=np.random.default_rng(11))
+        with pytest.raises(DecodingError):
+            receiver.estimate_channel(burst.samples, lts_start=-64)
+
     def test_reference_length_mismatch_rejected(self, paper_config):
         transmitter = MimoTransmitter(paper_config)
         receiver = MimoReceiver(paper_config)
@@ -172,6 +207,27 @@ class TestKnownTimingAndValidation:
                 n_info_bits=120,
                 reference_bits=[np.zeros(60, dtype=np.uint8)] * 4,
             )
+
+
+class TestScalarReferencePath:
+    """The retained per-symbol datapath decodes like the batched default."""
+
+    def test_scalar_loopback_error_free(self, paper_config):
+        transmitter = MimoTransmitter(paper_config)
+        receiver = MimoReceiver(paper_config, vectorized=False)
+        burst = transmitter.transmit_random(200, rng=np.random.default_rng(40))
+        result = receiver.receive(
+            burst.samples, n_info_bits=200, reference_bits=burst.info_bits
+        )
+        assert result.total_bit_errors(burst.info_bits) == 0
+
+    def test_transceiver_exposes_the_reference_path(self, paper_config):
+        from repro.core.transceiver import MimoTransceiver
+
+        transceiver = MimoTransceiver(paper_config, vectorized_rx=False)
+        assert transceiver.receiver.vectorized is False
+        result = transceiver.run_burst(150, rng=np.random.default_rng(41))
+        assert result.bit_errors == 0
 
 
 class TestRxQuantization:

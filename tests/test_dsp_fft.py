@@ -5,9 +5,11 @@ import pytest
 
 from repro.dsp.fft import (
     Fft,
+    FftPlan,
     bit_reverse_indices,
     fft,
     fixed_point_fft,
+    get_plan,
     ifft,
     ofdm_demodulate,
     ofdm_modulate,
@@ -80,10 +82,61 @@ class TestFixedPointFft:
         fixed = fixed_point_fft(x, fmt, inverse=True)
         np.testing.assert_allclose(fixed, np.fft.ifft(x), atol=1e-3)
 
-    def test_requires_1d(self):
+    def test_batched_input_matches_per_row_calls(self):
+        # Regression: the fixed-point path used to crash with ValueError on
+        # batched input while the float path accepted it; both now batch
+        # over leading axes identically.
+        fmt = FixedPointFormat(word_length=16, frac_bits=14)
+        rng = np.random.default_rng(21)
+        block = (rng.normal(size=(3, 5, 64)) + 1j * rng.normal(size=(3, 5, 64))) * 0.05
+        for inverse in (False, True):
+            batched = fixed_point_fft(block, fmt, inverse=inverse)
+            assert batched.shape == block.shape
+            for i in range(3):
+                for j in range(5):
+                    np.testing.assert_array_equal(
+                        batched[i, j], fixed_point_fft(block[i, j], fmt, inverse=inverse)
+                    )
+
+    def test_batched_fixed_point_engine_matches_float_shapes(self):
+        fmt = FixedPointFormat(word_length=18, frac_bits=16)
+        engine = Fft(64, fixed_format=fmt)
+        rng = np.random.default_rng(22)
+        block = (rng.normal(size=(4, 7, 64)) + 1j * rng.normal(size=(4, 7, 64))) * 0.05
+        assert engine.forward(block).shape == block.shape
+        assert engine.inverse(block).shape == block.shape
+
+    def test_rejects_non_power_of_two(self):
         fmt = FixedPointFormat(word_length=16, frac_bits=14)
         with pytest.raises(ValueError):
-            fixed_point_fft(np.ones((2, 8), dtype=complex), fmt)
+            fixed_point_fft(np.ones(10, dtype=complex), fmt)
+
+
+class TestFftPlan:
+    def test_get_plan_is_cached_per_size(self):
+        assert get_plan(64) is get_plan(64)
+        assert get_plan(64) is not get_plan(128)
+
+    def test_plan_tables_cover_every_stage(self):
+        plan = get_plan(64)
+        assert plan.stages == 6
+        assert len(plan.forward_twiddles) == 6
+        assert len(plan.inverse_twiddles) == 6
+        for stage, twiddles in enumerate(plan.forward_twiddles, start=1):
+            assert twiddles.size == (1 << stage) // 2
+        np.testing.assert_array_equal(plan.bit_reverse, bit_reverse_indices(64))
+
+    def test_plan_forward_matches_module_fft(self):
+        rng = np.random.default_rng(23)
+        x = rng.normal(size=(2, 64)) + 1j * rng.normal(size=(2, 64))
+        np.testing.assert_array_equal(FftPlan(64).forward(x), fft(x))
+        np.testing.assert_array_equal(FftPlan(64).inverse(x), ifft(x))
+
+    def test_plan_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            get_plan(64).forward(np.ones(32, dtype=complex))
+        with pytest.raises(ValueError):
+            FftPlan(12)
 
 
 class TestFftEngine:

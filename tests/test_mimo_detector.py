@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.exceptions import DecodingError
 from repro.mimo.channel_estimation import ChannelEstimate, invert_channel_matrices
 from repro.mimo.detector import MmseDetector, ZeroForcingDetector, zf_detect
 
@@ -86,3 +87,48 @@ class TestMmseDetector:
         detector = MmseDetector(estimate, noise_variance=0.1)
         with pytest.raises(ValueError):
             detector.detect(np.zeros((4, 8)))
+
+    def test_singular_gram_raises_decoding_error(self):
+        # Regression: with noise_variance == 0 a rank-deficient channel
+        # estimate makes the Gram matrix exactly singular; the raw
+        # LinAlgError used to escape and kill a whole pooled sweep batch.
+        matrices = np.zeros((8, 4, 4), dtype=np.complex128)
+        matrices[:] = np.eye(4)
+        matrices[:, :, 3] = matrices[:, :, 2]  # two identical columns
+        estimate = ChannelEstimate(
+            matrices=matrices,
+            inverses=np.zeros_like(matrices),
+            active_mask=np.ones(8, dtype=bool),
+        )
+        with pytest.raises(DecodingError):
+            MmseDetector(estimate, noise_variance=0.0)
+
+
+class TestBatchedDetection:
+    """Whole-burst (n_rx, n_symbols, fft_size) detection agrees with per-symbol calls."""
+
+    def test_zf_batched_equals_per_symbol(self):
+        estimate, rng = _make_estimate(seed=7)
+        block = rng.normal(size=(4, 6, 16)) + 1j * rng.normal(size=(4, 6, 16))
+        batched = zf_detect(block, estimate.inverses)
+        assert batched.shape == (4, 6, 16)
+        for n in range(6):
+            np.testing.assert_array_equal(
+                batched[:, n], zf_detect(block[:, n], estimate.inverses)
+            )
+
+    def test_mmse_batched_equals_per_symbol(self):
+        estimate, rng = _make_estimate(seed=8)
+        detector = MmseDetector(estimate, noise_variance=0.2)
+        block = rng.normal(size=(4, 5, 16)) + 1j * rng.normal(size=(4, 5, 16))
+        batched = detector.detect(block)
+        assert batched.shape == (4, 5, 16)
+        for n in range(5):
+            np.testing.assert_array_equal(batched[:, n], detector.detect(block[:, n]))
+
+    def test_bad_rank_rejected(self):
+        estimate, _ = _make_estimate(seed=9)
+        with pytest.raises(ValueError):
+            zf_detect(np.zeros((2, 3, 4, 16)), estimate.inverses)
+        with pytest.raises(ValueError):
+            zf_detect(np.zeros((4, 6, 8)), estimate.inverses)

@@ -401,6 +401,23 @@ class TestSweepRunner:
         assert curve[35.0] <= curve[5.0]
 
 
+class TestDecodeFailureAccounting:
+    def test_truncated_window_counts_as_lost_frames(self, monkeypatch):
+        # Regression: a mis-synchronised burst whose FFT window starts before
+        # sample zero now raises DecodingError (instead of clamping to a
+        # garbage window); the engine must fold it into the statistics as a
+        # fully errored frame, like any other decode failure.
+        from repro.core.receiver import MimoReceiver
+
+        monkeypatch.setattr(MimoReceiver, "synchronize", lambda self, samples: -200)
+        spec = small_spec(snr_db=(30.0,))
+        result = SweepRunner(spec, n_workers=1, cache=False).run()
+        point = result.points[0]
+        assert point.decode_failures == spec.n_bursts
+        assert point.packet_error_rate == 1.0
+        assert point.bit_error_rate == 1.0
+
+
 class TestJsonCache:
     def test_round_trip_and_miss(self, tmp_path):
         cache = JsonCache(tmp_path)
@@ -420,3 +437,26 @@ class TestJsonCache:
         cache.put("b", {})
         assert cache.clear() == 2
         assert cache.get("a") is None
+
+    def test_interrupted_put_leaves_no_entry_and_clear_removes_temp(self, tmp_path, monkeypatch):
+        # Regression: clear() only globbed *.json, stranding the
+        # .<key>.<random>.tmp files an interrupted put() leaves behind.
+        cache = JsonCache(tmp_path)
+
+        def boom(src, dst):
+            raise KeyboardInterrupt  # simulate the process dying mid-write
+
+        monkeypatch.setattr("repro.sim.cache.os.replace", boom)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put("key", {"value": 1})
+        monkeypatch.undo()
+        assert cache.get("key") is None
+
+        # put()'s cleanup handled that interrupt; now plant a stale temp file
+        # as left by a hard kill (no chance to unlink) and clear everything.
+        stale = tmp_path / ".key.abc123.tmp"
+        stale.write_text("{}")
+        cache.put("other", {"value": 2})
+        assert cache.clear() == 2
+        assert not stale.exists()
+        assert list(tmp_path.iterdir()) == []
