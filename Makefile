@@ -5,13 +5,16 @@
 #   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
 #   make bench-impairments - front-end impairment grid smoke (CFO x word length x SNR)
 #   make bench-rx          - batched receiver datapath vs per-symbol loop speedup
+#   make bench-stream      - streaming downlink service: 1000 concurrent user
+#                            streams, sustained frames/sec + latency percentiles
 #   make docs-check        - fail if any public module lacks a module docstring
+#                            and every required doc page is present + linked
 #   make clean-cache       - drop the repro.sim JSON result cache
 
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench-smoke bench-impairments bench-rx docs-check clean-cache
+.PHONY: test test-fast bench-smoke bench-impairments bench-rx bench-stream docs-check clean-cache
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -27,6 +30,9 @@ bench-impairments:
 
 bench-rx:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_rx_datapath.py -q --benchmark-disable -s
+
+bench-stream:
+	$(PYTHONPATH_PREFIX) REPRO_STREAM_USERS=1000 $(PYTHON) -m pytest benchmarks/test_streaming_service.py -q --benchmark-disable -s
 
 docs-check:
 	$(PYTHON) tools/docs_check.py

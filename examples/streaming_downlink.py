@@ -6,13 +6,16 @@ generation wireless networks are expected to provide high speed internet
 access anywhere and anytime") against the synthesised 480 Mbps build of
 Tables 1-4 and the 1 Gbps headline build of the title/abstract.
 
-A payload (e.g. a video segment) is segmented into bursts, each burst is
-carried over the 4x4 MIMO-OFDM air interface across a fresh fading
-realisation, erroneous bursts are retransmitted (simple ARQ), and the
-resulting goodput is compared with the configuration's nominal PHY rate.
-Before the ARQ replay, the expected burst error rate at the chosen SNR is
-looked up through a small cached :mod:`repro.sim` sweep, so repeated runs
-skip straight to the delivery simulation.
+A payload (e.g. a video segment) is segmented into frames and delivered
+over the *streaming* receive pipeline (:mod:`repro.stream`): every
+(re)transmission goes on air over a fresh fading realisation, the receiver
+consumes the resulting continuous sample stream through the rolling-buffer
+:class:`~repro.stream.detector.StreamFrameDetector`, and erroneous or
+undetected frames are retransmitted (simple ARQ).  The resulting goodput
+is compared with the configuration's nominal PHY rate.  Before the ARQ
+replay, the expected frame error rate at the chosen SNR is looked up
+through a small cached :mod:`repro.sim` sweep, so repeated runs with the
+same knobs skip straight to the delivery simulation.
 
 Run from a clean checkout with::
 
@@ -29,15 +32,26 @@ import numpy as np
 
 import _bootstrap  # noqa: F401 -- makes the in-tree repro package importable
 
-from repro import MimoTransceiver, TransceiverConfig
+from repro import TransceiverConfig
 from repro.channel import FlatRayleighChannel, MimoChannel
+from repro.core.receiver import MimoReceiver
 from repro.core.throughput import throughput_for_config
-from repro.exceptions import DecodingError
+from repro.core.transmitter import MimoTransmitter
 from repro.sim import SweepRunner, SweepSpec
+from repro.stream import StreamingReceiver
+
+# The delivery knobs, hoisted so the cached PER estimate and the ARQ replay
+# can never silently diverge: both the SweepSpec below and the streaming
+# delivery loop read the *same* constants, which is what keeps repeated runs
+# with identical knobs hitting the engine's JsonCache instead of
+# re-simulating.
+BITS_PER_FRAME_PER_STREAM = 1000
+PER_ESTIMATE_BURSTS = 16
+PER_ESTIMATE_SEED = 21
 
 
-def expected_per(config: TransceiverConfig, snr_db: float, n_info_bits: int) -> float:
-    """Cached engine estimate of the per-burst error probability."""
+def expected_per(config: TransceiverConfig, snr_db: float) -> float:
+    """Cached engine estimate of the per-frame error probability."""
     spec = SweepSpec(
         snr_db=(snr_db,),
         modulations=(config.modulation.value,),
@@ -46,12 +60,12 @@ def expected_per(config: TransceiverConfig, snr_db: float, n_info_bits: int) -> 
         channels=("flat_rayleigh",),
         fft_size=config.fft_size,
         soft_decision=config.soft_decision,
-        n_info_bits=n_info_bits,
-        n_bursts=16,
+        n_info_bits=BITS_PER_FRAME_PER_STREAM,
+        n_bursts=PER_ESTIMATE_BURSTS,
         # PER needs every burst's verdict: early stopping would weight the
         # sample toward error bursts, so run the full budget.
         target_errors=None,
-        base_seed=21,
+        base_seed=PER_ESTIMATE_SEED,
     )
     result = SweepRunner(spec, n_workers=1).run()
     return result.points[0].packet_error_rate
@@ -64,73 +78,80 @@ def deliver_payload(
     max_retries: int = 4,
     seed: int = 1,
 ) -> dict:
-    """Deliver ``payload_bits`` over the link with per-burst ARQ.
+    """Deliver ``payload_bits`` over the streaming pipeline with per-frame ARQ.
 
-    The transceiver (trellis, constellation and preamble tables) is built
-    once; every (re)transmission swaps in a fresh fading realisation — the
-    block-fading assumption the per-burst preamble is designed for — the
-    same way the sweep engine's burst loop does.
+    The transmitter and the streaming receiver (trellis, constellation and
+    preamble tables, rolling detection buffer) are built once; every
+    (re)transmission swaps in a fresh fading realisation — the block-fading
+    assumption the per-burst preamble is designed for — and its received
+    samples are pushed into the *continuous* stream the frame detector
+    watches.  A frame the detector never finds, a decode give-up, or a
+    decode with residual bit errors all trigger the same retransmission.
     """
     transmitter_rng = np.random.default_rng(seed)
-    bits_per_burst_per_stream = 1000
-    bits_per_burst = bits_per_burst_per_stream * config.n_streams
-    n_segments = -(-payload_bits // bits_per_burst)
-    transceiver = MimoTransceiver(config)
-    # All bursts carry the same payload size, so they all occupy the air
-    # for the same time — including bursts the receiver fails to find.
-    burst_duration_s = transceiver.transmitter.transmit_random(
-        bits_per_burst_per_stream, rng=np.random.default_rng(0)
-    ).duration_s
+    bits_per_frame = BITS_PER_FRAME_PER_STREAM * config.n_streams
+    n_segments = -(-payload_bits // bits_per_frame)
+    transmitter = MimoTransmitter(config)
+    pipeline = StreamingReceiver(
+        receiver=MimoReceiver(config), n_info_bits=BITS_PER_FRAME_PER_STREAM
+    )
 
     delivered = 0
     lost_segments = 0
-    bursts_sent = 0
+    frames_sent = 0
     retransmissions = 0
     air_time_s = 0.0
 
     for _segment in range(n_segments):
         attempts = 0
         while True:
-            transceiver.set_channel(
-                MimoChannel(
-                    FlatRayleighChannel(
-                        config.n_antennas,
-                        config.n_antennas,
-                        rng=transmitter_rng.integers(0, 2**31),
-                    ),
-                    snr_db=snr_db,
+            burst = transmitter.transmit_random(
+                BITS_PER_FRAME_PER_STREAM, rng=transmitter_rng
+            )
+            channel = MimoChannel(
+                FlatRayleighChannel(
+                    config.n_antennas,
+                    config.n_antennas,
                     rng=transmitter_rng.integers(0, 2**31),
-                )
+                ),
+                snr_db=snr_db,
+                rng=transmitter_rng.integers(0, 2**31),
             )
             attempts += 1
-            bursts_sent += 1
-            air_time_s += burst_duration_s
-            try:
-                result = transceiver.run_burst(
-                    bits_per_burst_per_stream, rng=transmitter_rng
+            frames_sent += 1
+            # Every frame occupies the air for its full duration — including
+            # frames the receiver fails to find.
+            air_time_s += burst.duration_s
+            decoded = pipeline.push(channel.transmit(burst.samples).samples)
+            delivered_ok = any(
+                frame.ok
+                and all(
+                    np.array_equal(reference, bits)
+                    for reference, bits in zip(
+                        burst.info_bits, frame.decoded_bits()
+                    )
                 )
-                delivered_ok = result.bit_errors == 0
-            except DecodingError:
-                # The receiver never found the burst (sync miss deep in the
-                # noise) — from the link's point of view, a lost frame.
-                delivered_ok = False
+                for frame in decoded
+            )
             if delivered_ok or attempts > max_retries:
                 break
             retransmissions += 1
         if delivered_ok:
-            delivered += bits_per_burst
+            delivered += bits_per_frame
         else:
             # Retries exhausted: only actually decoded bits count toward
             # goodput, otherwise low-SNR runs would fabricate throughput.
             lost_segments += 1
+    pipeline.flush()
 
     return {
         "delivered_bits": delivered,
         "lost_segments": lost_segments,
-        "bursts_sent": bursts_sent,
+        "bursts_sent": frames_sent,
         "retransmissions": retransmissions,
         "air_time_s": air_time_s,
         "goodput_bps": delivered / air_time_s if air_time_s else 0.0,
+        "frames_detected": pipeline.frames_detected,
     }
 
 
@@ -147,13 +168,14 @@ def main() -> None:
         ("gigabit build (64-QAM, rate 3/4)", TransceiverConfig.gigabit()),
     ]:
         nominal = throughput_for_config(config).info_bit_rate_bps
-        per = expected_per(config, args.snr, n_info_bits=1000)
+        per = expected_per(config, args.snr)
         print(f"\n=== {label} ===")
         print(f"payload               : {args.kilobytes} KiB ({payload_bits} bits)")
         print(f"channel SNR           : {args.snr:.1f} dB, flat Rayleigh per burst")
         print(f"expected burst errors : {per * 100:.0f} % (cached engine estimate)")
         stats = deliver_payload(payload_bits, args.snr, config)
         print(f"bursts sent           : {stats['bursts_sent']}")
+        print(f"frames detected       : {stats['frames_detected']} (streaming detector)")
         print(f"retransmissions       : {stats['retransmissions']}")
         if stats["lost_segments"]:
             print(f"segments lost         : {stats['lost_segments']} (retries exhausted)")

@@ -333,6 +333,62 @@ class MimoReceiver:
         return equalized, pilot_phases
 
     # ------------------------------------------------------------------
+    # externally-detected frame windows (streaming entry point)
+    # ------------------------------------------------------------------
+    def frame_length(self, n_info_bits: int) -> int:
+        """Burst length in samples for ``n_info_bits`` per spatial stream.
+
+        Mirrors the transmitter's burst construction exactly: preamble +
+        data OFDM symbols + the one-cyclic-prefix idle tail.  A streaming
+        frame detector uses this to know how many samples to cut around a
+        detected preamble.
+        """
+        if n_info_bits <= 0:
+            raise ConfigurationError("n_info_bits must be positive")
+        coded_length = self._encoder.coded_length(n_info_bits, terminate=True)
+        n_symbols = -(-coded_length // self.config.coded_bits_per_symbol)
+        layout = self.preamble.layout(self.config.n_antennas)
+        return (
+            layout.total_length
+            + n_symbols * self.config.samples_per_symbol
+            + self.config.cyclic_prefix_length
+        )
+
+    def receive_window(
+        self,
+        window: np.ndarray,
+        n_info_bits: int,
+        lts_offset: int,
+        noise_variance: float = 1.0,
+        reference_bits: Optional[Sequence[np.ndarray]] = None,
+    ) -> ReceiveResult:
+        """Decode one externally-detected frame window.
+
+        The streaming pipeline's entry point: a frame detector has already
+        located the burst in a continuous stream and cut out a complete
+        window (see :meth:`frame_length`), so time synchronisation is
+        skipped and ``lts_offset`` — the LTS start *relative to the
+        window* — is trusted.  Everything downstream (CFO, channel
+        estimation, equalisation, decoding) is the exact offline
+        :meth:`receive` datapath, which is what makes chunked streaming
+        decode bit-exact against the burst loop.
+        """
+        streams = np.asarray(window, dtype=np.complex128)
+        if streams.ndim != 2 or streams.shape[0] != self.config.n_antennas:
+            raise ConfigurationError(
+                f"window must have shape ({self.config.n_antennas}, n_samples)"
+            )
+        if not 0 <= int(lts_offset) < streams.shape[1]:
+            raise ConfigurationError("lts_offset must lie inside the window")
+        return self.receive(
+            streams,
+            n_info_bits,
+            lts_start=int(lts_offset),
+            noise_variance=noise_variance,
+            reference_bits=reference_bits,
+        )
+
+    # ------------------------------------------------------------------
     # full burst reception
     # ------------------------------------------------------------------
     def receive(

@@ -57,16 +57,26 @@ def build_config(point: SweepPoint, spec: SweepSpec) -> TransceiverConfig:
     )
 
 
+def build_fading_model(channel: str, n_streams: int, rng: SeedLike):
+    """Fading model instance by name (fresh realisation per call).
+
+    The name-keyed core of :func:`build_fading`, shared with callers that
+    have no :class:`SweepPoint` — the streaming scheduler builds per-frame
+    realisations from a channel name and antenna count directly.
+    """
+    n = n_streams
+    if channel == "ideal":
+        return IdealChannel(n, n)
+    if channel == "flat_rayleigh":
+        return FlatRayleighChannel(n, n, rng=rng)
+    if channel == "frequency_selective":
+        return FrequencySelectiveChannel(n, n, rng=rng)
+    raise ValueError(f"unknown channel model {channel!r}")
+
+
 def build_fading(point: SweepPoint, rng: SeedLike):
     """Fading model instance for one grid cell (fresh realisation per call)."""
-    n = point.n_streams
-    if point.channel == "ideal":
-        return IdealChannel(n, n)
-    if point.channel == "flat_rayleigh":
-        return FlatRayleighChannel(n, n, rng=rng)
-    if point.channel == "frequency_selective":
-        return FrequencySelectiveChannel(n, n, rng=rng)
-    raise ValueError(f"unknown channel model {point.channel!r}")
+    return build_fading_model(point.channel, point.n_streams, rng)
 
 
 def fixed_fading_seed(spec: SweepSpec, point: SweepPoint) -> np.random.SeedSequence:
@@ -176,6 +186,42 @@ def burst_seed(spec: SweepSpec, point_index: int, burst_index: int) -> np.random
     return np.random.SeedSequence([spec.base_seed, point_index, burst_index])
 
 
+def lost_frame_counts(n_info_bits: int, n_streams: int) -> Dict[str, int]:
+    """Per-burst counts for a frame the receiver could not decode at all.
+
+    The shared loss-accounting convention: a sync miss, a lock outside the
+    buffer or a rank-deficient estimate loses *every* payload bit of the
+    burst.  Both the sweep engine's :func:`simulate_batch` and the
+    streaming pipeline count lost frames this way, so PER/loss-rate numbers
+    are comparable across the two workloads.
+    """
+    lost_bits = n_info_bits * n_streams
+    return {
+        "bit_errors": lost_bits,
+        "total_bits": lost_bits,
+        "frame_error": 1,
+        "decode_failure": 1,
+    }
+
+
+#: Entropy tag for streaming per-(user, frame) seeds; disjoint from the
+#: sweep's per-(point, burst) tree and the fixed-fading stream.
+_STREAM_TAG = 0x57EA
+
+
+def stream_frame_seed(
+    base_seed: int, user: int, frame_index: int
+) -> np.random.SeedSequence:
+    """Deterministic seed of one (user, frame) cell of the streaming tree.
+
+    The streaming counterpart of :func:`burst_seed`: payload, fading and
+    noise generators for every user's every frame derive from this, so a
+    multi-user run is bit-reproducible for any scheduling order and never
+    collides with a sweep using the same base seed.
+    """
+    return np.random.SeedSequence([base_seed, _STREAM_TAG, user, frame_index])
+
+
 def simulate_batch(task: dict) -> Dict[str, object]:
     """Simulate one batch of bursts for one grid point (pool work unit).
 
@@ -252,13 +298,7 @@ def simulate_batch(task: dict) -> Dict[str, object]:
             # leaves the MMSE weights unsolvable.  A sweep over extreme
             # operating points must survive all of those: count the burst as
             # a fully errored frame (every payload bit lost) and move on.
-            lost_bits = spec.n_info_bits * point.n_streams
-            burst = {
-                "bit_errors": lost_bits,
-                "total_bits": lost_bits,
-                "frame_error": 1,
-                "decode_failure": 1,
-            }
+            burst = lost_frame_counts(spec.n_info_bits, point.n_streams)
         bursts.append(burst)
         local_errors += burst["bit_errors"]
         if spec.target_errors is not None and local_errors >= spec.target_errors:

@@ -1,0 +1,36 @@
+"""Streaming multi-user downlink service (ROADMAP item 1).
+
+The offline loops elsewhere in the repo decode one pre-cut burst at a
+time; this package makes *live traffic* a supported workload:
+
+* :mod:`repro.stream.detector` — chunk-invariant rolling-buffer frame
+  detection over a continuous multi-antenna stream;
+* :mod:`repro.stream.pipeline` — detected windows dispatched to the
+  vectorised burst datapath, with sweep-convention loss accounting;
+* :mod:`repro.stream.scheduler` / :mod:`repro.stream.traffic` — a
+  downlink scheduler multiplexing N per-user queues (round-robin or
+  smooth weighted round-robin) over one simulated air interface, fed by
+  Poisson/CBR traffic generators;
+* :mod:`repro.stream.metrics` — per-user latency percentiles, sustained
+  frames/sec, goodput and loss rate as plain dataclasses.
+"""
+
+from repro.stream.detector import FrameWindow, StreamFrameDetector
+from repro.stream.metrics import LatencySummary, ServiceReport, UserStats
+from repro.stream.pipeline import DecodedFrame, StreamingReceiver
+from repro.stream.scheduler import DownlinkScheduler
+from repro.stream.traffic import CbrTraffic, PoissonTraffic, arrival_times
+
+__all__ = [
+    "FrameWindow",
+    "StreamFrameDetector",
+    "LatencySummary",
+    "ServiceReport",
+    "UserStats",
+    "DecodedFrame",
+    "StreamingReceiver",
+    "DownlinkScheduler",
+    "CbrTraffic",
+    "PoissonTraffic",
+    "arrival_times",
+]

@@ -1,0 +1,79 @@
+"""Per-user downlink traffic generators.
+
+A traffic model turns a frame budget into deterministic arrival times for
+one user's queue.  Two classic models are provided:
+
+* :class:`CbrTraffic` — constant bit rate: one frame every
+  ``1 / rate_fps`` seconds (a video stream, a sensor feed);
+* :class:`PoissonTraffic` — memoryless arrivals at a mean rate (bursty
+  web-style traffic).
+
+Determinism matters more than realism here: the scheduler seeds every
+user's generator from the engine's :class:`numpy.random.SeedSequence`
+idiom, so a million-user run is bit-reproducible for any scheduling
+order.  A model is any object with ``intervals(n_frames, rng)`` returning
+the ``n_frames`` inter-arrival gaps in seconds; :func:`arrival_times`
+turns gaps into absolute arrival instants.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, make_rng
+
+
+class CbrTraffic:
+    """Constant-rate arrivals: one frame every ``1 / rate_fps`` seconds.
+
+    ``phase_s`` offsets the first arrival, which lets a population of CBR
+    users be staggered instead of arriving in lockstep.
+    """
+
+    def __init__(self, rate_fps: float, phase_s: float = 0.0) -> None:
+        if rate_fps <= 0:
+            raise ValueError("rate_fps must be positive")
+        if phase_s < 0:
+            raise ValueError("phase_s must be non-negative")
+        self.rate_fps = float(rate_fps)
+        self.phase_s = float(phase_s)
+
+    def intervals(self, n_frames: int, rng: SeedLike = None) -> np.ndarray:
+        """Deterministic gaps; the ``rng`` is accepted but unused."""
+        if n_frames < 0:
+            raise ValueError("n_frames must be non-negative")
+        gaps = np.full(n_frames, 1.0 / self.rate_fps, dtype=np.float64)
+        if n_frames:
+            gaps[0] = self.phase_s
+        return gaps
+
+
+class PoissonTraffic:
+    """Poisson arrivals at ``rate_fps`` mean frames per second.
+
+    Inter-arrival gaps are exponential with mean ``1 / rate_fps``, drawn
+    from the generator the scheduler seeds per user — two runs with the
+    same base seed replay the same arrival pattern.
+    """
+
+    def __init__(self, rate_fps: float) -> None:
+        if rate_fps <= 0:
+            raise ValueError("rate_fps must be positive")
+        self.rate_fps = float(rate_fps)
+
+    def intervals(self, n_frames: int, rng: SeedLike = None) -> np.ndarray:
+        """Exponential inter-arrival gaps in seconds."""
+        if n_frames < 0:
+            raise ValueError("n_frames must be non-negative")
+        generator = make_rng(rng)
+        return generator.exponential(1.0 / self.rate_fps, size=n_frames)
+
+
+def arrival_times(
+    traffic, n_frames: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Absolute arrival instants (seconds) for one user's frame sequence."""
+    gaps = np.asarray(traffic.intervals(n_frames, rng=rng), dtype=np.float64)
+    if np.any(gaps < 0):
+        raise ValueError("traffic model produced a negative inter-arrival gap")
+    return np.cumsum(gaps)

@@ -33,7 +33,15 @@ from repro.exceptions import SynchronizationError
 
 @dataclass(frozen=True)
 class SyncResult:
-    """Outcome of the burst search.
+    """Outcome of the burst search — one shape for both detection modes.
+
+    Historically the threshold path reported the raw correlation magnitude
+    while the peak path reported the energy-normalised metric in the same
+    fields, so callers comparing detections across modes (or across
+    antennas) compared different quantities.  Both traces are now always
+    present and ``peak_magnitude`` is the *detection metric* at the locking
+    window in both modes, which is what lets the streaming frame detector
+    apply a single acceptance test regardless of the synchroniser's mode.
 
     Attributes
     ----------
@@ -43,11 +51,17 @@ class SyncResult:
     peak_index:
         Index of the correlator window that triggered the detection.
     peak_magnitude:
-        Correlation magnitude at that window.
+        Detection metric at that window — ``metric[peak_index]`` in both
+        modes (energy-normalised when the synchroniser normalises).
     locked:
         True when detection succeeded.
     correlation_magnitude:
-        The full correlation magnitude trace (for diagnostics/plots).
+        The raw correlation magnitude trace in both modes (for
+        diagnostics/plots).
+    metric:
+        The detection-metric trace in both modes: the energy-normalised
+        correlation when ``normalize`` is on (scale-invariant, ~1.0 at a
+        clean preamble transition), the raw magnitude otherwise.
     """
 
     lts_start: int
@@ -55,6 +69,7 @@ class SyncResult:
     peak_magnitude: float
     locked: bool
     correlation_magnitude: np.ndarray
+    metric: np.ndarray
 
 
 class TimeSynchronizer:
@@ -132,6 +147,35 @@ class TimeSynchronizer:
             return cordic_magnitude(correlation)
         return np.abs(correlation)
 
+    def normalized_metric(
+        self, samples: np.ndarray, magnitude: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Energy-normalised detection metric for every window position.
+
+        Each window's correlation magnitude is divided by the geometric mean
+        of the window's energy and the reference's energy, so the metric is
+        invariant to channel gain (≈1.0 at a clean preamble transition).
+        When ``normalize`` is off this returns the raw magnitude, keeping
+        :attr:`SyncResult.metric` meaningful in every configuration.
+
+        ``magnitude`` lets callers that already computed the raw correlation
+        trace (e.g. :meth:`search`) avoid a second correlator pass.
+        """
+        stream = np.asarray(samples, dtype=np.complex128).ravel()
+        if magnitude is None:
+            magnitude = self.correlate(stream)
+        if not self.normalize:
+            return magnitude
+        window_energy = np.convolve(
+            np.abs(stream) ** 2,
+            np.ones(self.window_length),
+            mode="valid",
+        )
+        reference_energy = float(np.sum(np.abs(self.reference) ** 2))
+        return magnitude / np.sqrt(
+            np.maximum(window_energy * reference_energy, 1e-30)
+        )
+
     def search(self, samples: np.ndarray) -> SyncResult:
         """Search a sample stream for the STS-to-LTS transition.
 
@@ -147,8 +191,11 @@ class TimeSynchronizer:
                 "sample stream shorter than the correlator window"
             )
         magnitude = self.correlate(stream)
+        metric = self.normalized_metric(stream, magnitude=magnitude)
 
         if self.mode == "threshold":
+            # The hardware compares the *raw* magnitude against the stored
+            # absolute threshold; only the reporting is normalised.
             above = np.nonzero(magnitude >= self.threshold)[0]
             if above.size == 0:
                 raise SynchronizationError(
@@ -156,21 +203,7 @@ class TimeSynchronizer:
                 )
             peak_index = int(above[0])
         else:
-            metric = magnitude
-            if self.normalize:
-                window_energy = np.convolve(
-                    np.abs(stream) ** 2,
-                    np.ones(self.window_length),
-                    mode="valid",
-                )
-                reference_energy = float(np.sum(np.abs(self.reference) ** 2))
-                metric = magnitude / np.sqrt(
-                    np.maximum(window_energy * reference_energy, 1e-30)
-                )
             peak_index = int(np.argmax(metric))
-            # Report the (normalised) detection metric so callers comparing
-            # antennas compare like with like.
-            magnitude = metric
 
         # The window covers the last `window_sts` STS samples followed by the
         # first `window_lts` LTS samples, so the LTS section begins
@@ -179,7 +212,8 @@ class TimeSynchronizer:
         return SyncResult(
             lts_start=lts_start,
             peak_index=peak_index,
-            peak_magnitude=float(magnitude[peak_index]),
+            peak_magnitude=float(metric[peak_index]),
             locked=True,
             correlation_magnitude=magnitude,
+            metric=metric,
         )

@@ -52,6 +52,15 @@ def test_streaming_downlink_small_payload():
 
 
 @pytest.mark.slow
+def test_multiuser_load_small_population():
+    output = _run(
+        "multiuser_load.py", "--users", "12", "--frames", "2", "--rate", "5000"
+    )
+    assert "sustained rate" in output
+    assert "per-user latency percentiles" in output
+
+
+@pytest.mark.slow
 def test_impairment_sensitivity_small_run():
     output = _run("impairment_sensitivity.py", "--bursts", "1", "--bits", "100")
     assert "BER vs normalised CFO" in output

@@ -1,0 +1,152 @@
+"""Unit tests for the rolling-buffer stream frame detector."""
+
+import numpy as np
+import pytest
+
+from repro.core.preamble import PreambleGenerator
+from repro.core.transmitter import MimoTransmitter
+from repro.stream import StreamFrameDetector
+
+N_INFO_BITS = 256
+
+
+@pytest.fixture(scope="module")
+def preamble():
+    return PreambleGenerator(64)
+
+
+@pytest.fixture(scope="module")
+def clean_frames(preamble):
+    """Two clean back-to-back 4x4 bursts and their common frame length."""
+    transmitter = MimoTransmitter()
+    rng = np.random.default_rng(99)
+    bursts = [
+        transmitter.transmit_random(N_INFO_BITS, rng=rng).samples
+        for _ in range(2)
+    ]
+    return bursts, bursts[0].shape[1]
+
+
+def _detector(preamble, frame_length, **kwargs):
+    return StreamFrameDetector(
+        preamble=preamble,
+        n_rx=4,
+        frame_length=frame_length,
+        estimate_cfo=False,
+        **kwargs,
+    )
+
+
+class TestDetection:
+    def test_single_frame_single_push(self, preamble, clean_frames):
+        bursts, frame_length = clean_frames
+        detector = _detector(preamble, frame_length)
+        windows = detector.push(bursts[0])
+        assert len(windows) == 1
+        window = windows[0]
+        assert window.start == 0
+        assert window.lts_start == preamble.sts_time().size
+        assert window.lts_offset == preamble.sts_time().size
+        assert window.samples.shape == (4, frame_length)
+        np.testing.assert_array_equal(window.samples, bursts[0])
+        assert window.peak_metric == pytest.approx(1.0, abs=0.05)
+
+    def test_frame_straddling_many_pushes(self, preamble, clean_frames):
+        bursts, frame_length = clean_frames
+        stream = np.concatenate(bursts, axis=1)
+        detector = _detector(preamble, frame_length)
+        windows = []
+        for offset in range(0, stream.shape[1], 100):
+            windows.extend(detector.push(stream[:, offset : offset + 100]))
+        windows.extend(detector.flush())
+        assert [w.start for w in windows] == [0, frame_length]
+        for window, burst in zip(windows, bursts):
+            np.testing.assert_array_equal(window.samples, burst)
+
+    def test_idle_gap_between_frames(self, preamble, clean_frames):
+        bursts, frame_length = clean_frames
+        gap = np.zeros((4, 500), dtype=np.complex128)
+        detector = _detector(preamble, frame_length)
+        windows = detector.push(np.concatenate([bursts[0], gap, bursts[1]], axis=1))
+        windows += detector.flush()
+        assert [w.start for w in windows] == [0, frame_length + 500]
+
+    def test_delayed_frame_start(self, preamble, clean_frames):
+        bursts, frame_length = clean_frames
+        delay = 777
+        lead_in = np.zeros((4, delay), dtype=np.complex128)
+        detector = _detector(preamble, frame_length)
+        windows = detector.push(np.concatenate([lead_in, bursts[0]], axis=1))
+        windows += detector.flush()
+        assert len(windows) == 1
+        assert windows[0].start == delay
+        np.testing.assert_array_equal(windows[0].samples, bursts[0])
+
+    def test_noise_only_stream_detects_nothing(self, preamble, clean_frames):
+        _, frame_length = clean_frames
+        rng = np.random.default_rng(3)
+        noise = 0.1 * (
+            rng.normal(size=(4, 6000)) + 1j * rng.normal(size=(4, 6000))
+        )
+        detector = _detector(preamble, frame_length)
+        assert detector.push(noise) == []
+        assert detector.flush() == []
+        assert detector.frames_emitted == 0
+
+    def test_truncated_tail_frame_is_counted_not_emitted(
+        self, preamble, clean_frames
+    ):
+        bursts, frame_length = clean_frames
+        detector = _detector(preamble, frame_length)
+        windows = detector.push(bursts[0][:, : frame_length - 200])
+        windows += detector.flush()
+        assert windows == []
+        assert detector.truncated_frames == 1
+
+    def test_reset_restarts_stream_positions(self, preamble, clean_frames):
+        bursts, frame_length = clean_frames
+        detector = _detector(preamble, frame_length)
+        assert detector.push(bursts[0])[0].start == 0
+        detector.reset()
+        assert detector.samples_in == 0
+        assert detector.push(bursts[1])[0].start == 0
+
+    def test_coarse_cfo_attached_when_requested(self, preamble, clean_frames):
+        bursts, frame_length = clean_frames
+        cfo = 2e-4
+        rotation = np.exp(2j * np.pi * cfo * np.arange(frame_length))
+        detector = StreamFrameDetector(
+            preamble=preamble, n_rx=4, frame_length=frame_length
+        )
+        windows = detector.push(bursts[0] * rotation)
+        assert len(windows) == 1
+        assert windows[0].cfo_coarse == pytest.approx(cfo, abs=2e-5)
+
+
+class TestValidation:
+    def test_chunk_shape_mismatch_rejected(self, preamble, clean_frames):
+        _, frame_length = clean_frames
+        detector = _detector(preamble, frame_length)
+        with pytest.raises(ValueError):
+            detector.push(np.zeros((3, 10), dtype=complex))
+
+    def test_frame_shorter_than_preamble_rejected(self, preamble):
+        with pytest.raises(ValueError):
+            _detector(preamble, frame_length=100)
+
+    def test_single_antenna_accepts_1d_chunks(self, preamble):
+        layout_length = preamble.layout(1).total_length
+        detector = StreamFrameDetector(
+            preamble=preamble,
+            n_rx=1,
+            n_tx=1,
+            frame_length=layout_length + 80,
+            estimate_cfo=False,
+        )
+        samples = np.concatenate(
+            [preamble.mimo_preamble(1)[0], np.zeros(200, dtype=complex)]
+        )
+        windows = detector.push(samples)
+        windows += detector.flush()
+        assert len(windows) == 1
+        assert windows[0].lts_start == preamble.sts_time().size

@@ -104,6 +104,71 @@ class TestDetection:
         assert abs(result.lts_start - 160) <= 1
 
 
+class TestStructuredResult:
+    """Both detection modes report the same result shape and quantities."""
+
+    def test_both_modes_return_both_traces(self, preamble):
+        burst = _clean_burst(preamble)
+        for mode in ("peak", "threshold"):
+            result = _synchronizer(preamble, mode=mode).search(burst)
+            assert result.correlation_magnitude.size == burst.size - 32 + 1
+            assert result.metric.shape == result.correlation_magnitude.shape
+
+    def test_peak_magnitude_is_metric_at_peak_in_both_modes(self, preamble):
+        burst = _clean_burst(preamble, delay=9)
+        for mode in ("peak", "threshold"):
+            result = _synchronizer(preamble, mode=mode).search(burst)
+            assert result.peak_magnitude == result.metric[result.peak_index]
+
+    def test_modes_report_comparable_metric(self, preamble):
+        # The historical inconsistency: threshold mode reported the raw
+        # correlation sum, peak mode the normalised metric.  Both now report
+        # the normalised metric (~1.0 at a clean transition) so a single
+        # acceptance test works across modes.
+        burst = _clean_burst(preamble)
+        peak = _synchronizer(preamble, mode="peak").search(burst)
+        # A threshold tuned close to the clean transition peak (the
+        # hardware's pre-computed value) locks on the same window.
+        threshold = _synchronizer(
+            preamble,
+            mode="threshold",
+            threshold=0.9 * _synchronizer(preamble).clean_peak,
+        ).search(burst)
+        assert peak.peak_magnitude == pytest.approx(1.0, abs=0.05)
+        assert threshold.peak_index == peak.peak_index
+        assert threshold.peak_magnitude == pytest.approx(
+            peak.peak_magnitude, abs=0.05
+        )
+
+    def test_raw_trace_is_unnormalized_in_both_modes(self, preamble):
+        gain = 5.0
+        burst = _clean_burst(preamble)
+        for mode in ("peak", "threshold"):
+            sync = _synchronizer(preamble, mode=mode)
+            small = sync.search(burst)
+            large = sync.search(gain * burst)
+            # Raw correlation scales with the signal; the metric does not.
+            ratio = large.correlation_magnitude.max() / small.correlation_magnitude.max()
+            assert ratio == pytest.approx(gain, rel=1e-9)
+            assert large.peak_magnitude == pytest.approx(
+                small.peak_magnitude, rel=1e-9
+            )
+
+    def test_normalized_metric_matches_search_trace(self, preamble):
+        sync = _synchronizer(preamble)
+        burst = _clean_burst(preamble)
+        np.testing.assert_allclose(
+            sync.normalized_metric(burst), sync.search(burst).metric
+        )
+
+    def test_normalized_metric_without_normalization_is_raw(self, preamble):
+        sync = _synchronizer(preamble, normalize=False)
+        burst = _clean_burst(preamble, n_data=50)
+        np.testing.assert_array_equal(
+            sync.normalized_metric(burst), sync.correlate(burst)
+        )
+
+
 class TestMimoPreambleDetection:
     def test_detection_on_full_mimo_preamble(self, preamble):
         # Antenna 0 carries STS followed immediately by its own LTS slot, so

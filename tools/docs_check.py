@@ -1,10 +1,14 @@
 #!/usr/bin/env python
-"""Documentation gate: every public module in ``src/repro`` needs a docstring.
+"""Documentation gate: module docstrings plus the required doc pages.
 
-Walks the package tree, AST-parses each ``.py`` file whose name (and whose
-parent packages' names) do not start with an underscore, and fails with a
-listing of the offenders when any module-level docstring is missing or
-empty.  Run via ``make docs-check``.
+Two checks, run via ``make docs-check``:
+
+1. every public module in ``src/repro`` carries a non-empty module
+   docstring (the tree is walked and AST-parsed; files whose name or
+   parent package starts with an underscore are exempt);
+2. every page in ``REQUIRED_DOCS`` exists under ``docs/``, is non-empty,
+   and is linked from the README (a guide nobody can find is as good as
+   missing).
 """
 
 from __future__ import annotations
@@ -13,7 +17,15 @@ import ast
 import sys
 from pathlib import Path
 
-PACKAGE_ROOT = Path(__file__).resolve().parent.parent / "src" / "repro"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Doc pages the repo promises: each must exist, be non-empty and be
+#: linked from README.md.
+REQUIRED_DOCS = (
+    "docs/simulation.md",
+    "docs/streaming.md",
+)
 
 
 def public_modules(root: Path) -> list[Path]:
@@ -44,6 +56,24 @@ def missing_docstrings(modules: list[Path]) -> list[Path]:
     return offenders
 
 
+def missing_required_docs() -> list[str]:
+    """Problems with the promised doc pages (empty list when all is well)."""
+    problems = []
+    readme = REPO_ROOT / "README.md"
+    readme_text = readme.read_text(encoding="utf-8") if readme.is_file() else ""
+    for relative in REQUIRED_DOCS:
+        page = REPO_ROOT / relative
+        if not page.is_file():
+            problems.append(f"{relative}: missing")
+            continue
+        if not page.read_text(encoding="utf-8").strip():
+            problems.append(f"{relative}: empty")
+            continue
+        if relative not in readme_text:
+            problems.append(f"{relative}: not linked from README.md")
+    return problems
+
+
 def main() -> int:
     if not PACKAGE_ROOT.is_dir():
         print(f"docs-check: package root {PACKAGE_ROOT} not found", file=sys.stderr)
@@ -55,7 +85,16 @@ def main() -> int:
         for path in offenders:
             print(f"  {path.relative_to(PACKAGE_ROOT.parent.parent)}", file=sys.stderr)
         return 1
-    print(f"docs-check: OK ({len(modules)} public modules documented)")
+    doc_problems = missing_required_docs()
+    if doc_problems:
+        print("docs-check: required doc pages have problems:", file=sys.stderr)
+        for problem in doc_problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(
+        f"docs-check: OK ({len(modules)} public modules documented, "
+        f"{len(REQUIRED_DOCS)} required doc pages present and linked)"
+    )
     return 0
 
 
