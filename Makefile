@@ -5,6 +5,7 @@
 #   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
 #   make bench-impairments - front-end impairment grid smoke (CFO x word length x SNR)
 #   make bench-rx          - batched receiver datapath vs per-symbol loop speedup
+#   make bench-link        - batched transmit + fused channel vs per-symbol/staged
 #   make bench-stream      - streaming downlink service: 1000 concurrent user
 #                            streams, sustained frames/sec + latency percentiles
 #   make docs-check        - fail if any public module lacks a module docstring
@@ -14,7 +15,7 @@
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench-smoke bench-impairments bench-rx bench-stream docs-check clean-cache
+.PHONY: test test-fast bench-smoke bench-impairments bench-rx bench-link bench-stream docs-check clean-cache
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
@@ -30,6 +31,9 @@ bench-impairments:
 
 bench-rx:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_rx_datapath.py -q --benchmark-disable -s
+
+bench-link:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_link_datapath.py -q --benchmark-disable -s
 
 bench-stream:
 	$(PYTHONPATH_PREFIX) REPRO_STREAM_USERS=1000 $(PYTHON) -m pytest benchmarks/test_streaming_service.py -q --benchmark-disable -s

@@ -8,7 +8,12 @@ IQ imbalance) so the complete receive datapath — synchronisation, channel
 estimation, detection, decoding — is exercised end to end.
 """
 
-from repro.channel.awgn import add_awgn, awgn_noise, noise_variance_for_snr
+from repro.channel.awgn import (
+    add_awgn,
+    awgn_noise,
+    noise_variance_for_snr,
+    occupied_power,
+)
 from repro.channel.fading import (
     FlatRayleighChannel,
     FrequencySelectiveChannel,
@@ -26,6 +31,7 @@ __all__ = [
     "add_awgn",
     "awgn_noise",
     "noise_variance_for_snr",
+    "occupied_power",
     "FlatRayleighChannel",
     "FrequencySelectiveChannel",
     "exponential_power_delay_profile",

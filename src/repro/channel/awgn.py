@@ -29,11 +29,41 @@ def awgn_noise(
     return scale * (real + 1j * imag)
 
 
+def occupied_power(signal: np.ndarray) -> float:
+    """Mean signal power over the *occupied* sample instants.
+
+    A burst observation window can contain sample instants where nothing is
+    on the air at all — the zero padding a timing delay prepends, or the
+    idle tail after the last OFDM symbol.  Averaging ``|x|**2`` over the
+    whole window dilutes the measured power by those silent samples, so an
+    SNR calibrated against it silently depends on the delay and
+    burst-length axes.  This helper measures power only over instants where
+    at least one antenna carries energy: for a 1-D stream, the nonzero
+    samples; for an ``(..., n_samples)`` multi-antenna array, the columns
+    whose total power across antennas is nonzero (a staggered-preamble slot
+    where *some* antennas idle is still occupied air time).
+
+    Returns ``0.0`` when the signal is empty or entirely silent.
+    """
+    samples = np.asarray(signal, dtype=np.complex128)
+    if samples.size == 0:
+        return 0.0
+    power = np.abs(samples) ** 2
+    if samples.ndim == 1:
+        occupied = power > 0
+    else:
+        occupied = power.sum(axis=tuple(range(samples.ndim - 1))) > 0
+    if not occupied.any():
+        return 0.0
+    return float(np.mean(power[..., occupied]))
+
+
 def add_awgn(
     signal: np.ndarray,
     snr_db: float,
     rng: SeedLike = None,
     measure_power: bool = True,
+    signal_power: float | None = None,
 ) -> np.ndarray:
     """Add AWGN to ``signal`` at the requested SNR.
 
@@ -46,14 +76,24 @@ def add_awgn(
     rng:
         Seed or generator for reproducibility.
     measure_power:
-        When True the signal power is measured from ``signal`` (appropriate
-        for OFDM waveforms whose power varies with loading); when False unit
+        When True the signal power is measured from ``signal`` over the
+        occupied sample instants (see :func:`occupied_power` — zero padding
+        and idle tails must not dilute the measurement); when False unit
         signal power is assumed.
+    signal_power:
+        Explicit signal power overriding the measurement entirely — the
+        hook :class:`~repro.channel.model.MimoChannel` uses to calibrate
+        noise against the power it measured before later stages.
     """
     samples = np.asarray(signal, dtype=np.complex128)
     if samples.size == 0:
         return samples.copy()
-    power = float(np.mean(np.abs(samples) ** 2)) if measure_power else 1.0
+    if signal_power is not None:
+        power = float(signal_power)
+    elif measure_power:
+        power = occupied_power(samples)
+    else:
+        power = 1.0
     if power == 0.0:
         return samples.copy()
     variance = noise_variance_for_snr(snr_db, power)

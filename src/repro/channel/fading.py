@@ -34,9 +34,8 @@ def rayleigh_matrix(
         raise ValueError("antenna counts must be positive")
     generator = make_rng(rng)
     h = generator.normal(size=(n_rx, n_tx)) + 1j * generator.normal(size=(n_rx, n_tx))
-    h /= np.sqrt(2.0)
-    if not normalize:
-        h *= np.sqrt(2.0)
+    if normalize:
+        h /= np.sqrt(2.0)
     return h
 
 

@@ -2,10 +2,24 @@
 
 :class:`MimoChannel` chains transmit-side DAC quantisation, a fading model
 (ideal / flat Rayleigh / frequency selective), front-end impairments (CFO,
-sample delay, IQ imbalance), AWGN and receive-side ADC quantisation into a
-single object with one :meth:`MimoChannel.transmit` call, and exposes the
-ground-truth per-subcarrier channel matrices so experiments can compare the
-receiver's estimates against the real channel.
+sample delay), AWGN, the receive-mixer IQ imbalance and receive-side ADC
+quantisation into a single object with one :meth:`MimoChannel.transmit`
+call, and exposes the ground-truth per-subcarrier channel matrices so
+experiments can compare the receiver's estimates against the real channel.
+
+Stage order is physical: the IQ imbalance models the *receive* mixer, so it
+distorts signal and antenna noise alike — it runs after the AWGN stage, and
+only the ADC quantisation follows it.  Noise is calibrated against the
+signal power over *occupied* sample instants (see
+:func:`repro.channel.awgn.occupied_power`), so the delivered SNR does not
+depend on how much zero padding a timing delay prepends or how long the
+idle tail runs; the exact variance used is reported on the output.
+
+The default datapath is fused: one observation-window buffer is allocated
+and fading/CFO/noise/IQ/quantisation update it in place, whole-burst,
+without intermediate per-stage copies.  ``vectorized=False`` keeps the
+original stage-at-a-time pipeline as the bit-exact agreement-test
+reference.
 """
 
 from __future__ import annotations
@@ -15,7 +29,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.channel.awgn import add_awgn
+from repro.channel.awgn import awgn_noise, noise_variance_for_snr, occupied_power
 from repro.channel.fading import FlatRayleighChannel, FrequencySelectiveChannel
 from repro.channel.impairments import (
     apply_carrier_frequency_offset,
@@ -59,6 +73,11 @@ class ChannelOutput:
         Received samples per antenna, shape ``(n_rx, n_samples)``.
     snr_db:
         The SNR at which noise was added (``None`` for a noiseless run).
+    noise_variance:
+        The complex noise variance actually injected — calibrated against
+        the occupied-sample signal power, so receivers (MMSE weights, soft
+        LLR scaling) can use the true value instead of re-measuring it from
+        the noisy output.  ``None`` for a noiseless run.
     true_frequency_response:
         Ground-truth channel matrix per subcarrier (``None`` until requested
         via :meth:`MimoChannel.transmit` with ``fft_size``).
@@ -66,6 +85,7 @@ class ChannelOutput:
 
     samples: np.ndarray
     snr_db: Optional[float] = None
+    noise_variance: Optional[float] = None
     true_frequency_response: Optional[np.ndarray] = None
 
 
@@ -88,8 +108,9 @@ class MimoChannel:
         is never lost (the receiver keeps listening while the burst arrives
         late).
     iq_amplitude_db / iq_phase_deg:
-        Receive-mixer IQ amplitude (dB) and phase (degrees) imbalance,
-        applied after the CFO rotation (``0`` disables).
+        Receive-mixer IQ amplitude (dB) and phase (degrees) imbalance
+        (``0`` disables).  As a receive-side impairment it runs *after*
+        noise injection — the mixer distorts antenna noise too.
     tx_quantization:
         Optional :class:`~repro.dsp.fixedpoint.FixedPointFormat` applied to
         the transmit samples before the channel — the DAC word length on
@@ -102,6 +123,11 @@ class MimoChannel:
     rng:
         Seed or generator used for the noise (fading randomness is owned by
         the fading object itself).
+    vectorized:
+        Run the fused whole-burst datapath (default): one observation
+        buffer, every stage applied in place.  ``False`` selects the
+        stage-at-a-time pipeline kept as the bit-exact agreement-test
+        reference.
     """
 
     def __init__(
@@ -115,6 +141,7 @@ class MimoChannel:
         tx_quantization: Optional[FixedPointFormat] = None,
         rx_quantization: Optional[FixedPointFormat] = None,
         rng: SeedLike = None,
+        vectorized: bool = True,
     ) -> None:
         self.fading = fading if fading is not None else IdealChannel()
         self.snr_db = snr_db
@@ -125,6 +152,7 @@ class MimoChannel:
         self.tx_quantization = tx_quantization
         self.rx_quantization = rx_quantization
         self.rng = make_rng(rng)
+        self.vectorized = vectorized
 
     @property
     def n_rx(self) -> int:
@@ -155,6 +183,41 @@ class MimoChannel:
 
         if self.tx_quantization is not None:
             x = self.tx_quantization.quantize_complex(x)
+        if self.vectorized:
+            y, noise_variance = self._transmit_fused(x)
+        else:
+            y, noise_variance = self._transmit_stages(x)
+
+        response = None
+        if fft_size is not None:
+            response = self.fading.frequency_response(fft_size)
+        return ChannelOutput(
+            samples=y,
+            snr_db=self.snr_db,
+            noise_variance=noise_variance,
+            true_frequency_response=response,
+        )
+
+    def _noise_variance_for(self, y: np.ndarray) -> Optional[float]:
+        """Noise variance delivering ``snr_db`` over the occupied samples.
+
+        Measured on the pre-noise signal, so zero padding (timing delay)
+        and the idle burst tail cannot dilute the signal-power estimate —
+        the delivered SNR is invariant to the ``sample_delay`` and
+        burst-length axes.  Returns ``None`` for a noiseless channel and
+        ``0.0`` when the window carries no signal at all.
+        """
+        if self.snr_db is None:
+            return None
+        power = occupied_power(y)
+        if power == 0.0:
+            return 0.0
+        return noise_variance_for_snr(self.snr_db, power)
+
+    def _transmit_stages(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, Optional[float]]:
+        """Stage-at-a-time reference pipeline (bit-exact vs the fused path)."""
         y = self.fading.apply(x)
         if self.sample_delay:
             # The receiver keeps listening while the burst arrives late:
@@ -165,16 +228,55 @@ class MimoChannel:
             y = np.concatenate([pad, y], axis=-1)
         if self.cfo_normalized:
             y = apply_carrier_frequency_offset(y, self.cfo_normalized)
+        noise_variance = self._noise_variance_for(y)
+        if noise_variance:
+            y = y + awgn_noise(y.shape, noise_variance, self.rng)
         if self.iq_amplitude_db or self.iq_phase_deg:
             y = apply_iq_imbalance(y, self.iq_amplitude_db, self.iq_phase_deg)
-        if self.snr_db is not None:
-            y = add_awgn(y, self.snr_db, rng=self.rng)
         if self.rx_quantization is not None:
             y = self.rx_quantization.quantize_complex(y)
+        return y, noise_variance
 
-        response = None
-        if fft_size is not None:
-            response = self.fading.frequency_response(fft_size)
-        return ChannelOutput(
-            samples=y, snr_db=self.snr_db, true_frequency_response=response
-        )
+    def _transmit_fused(
+        self, x: np.ndarray
+    ) -> tuple[np.ndarray, Optional[float]]:
+        """Fused whole-burst pipeline: one buffer, every stage in place.
+
+        Applies exactly the stages of :meth:`_transmit_stages` in the same
+        order with the same arithmetic (agreement-tested bit-exact), but
+        allocates the observation window once — the delay padding is a
+        slice assignment instead of a concatenate, and the CFO rotation,
+        noise addition and IQ mixing are in-place updates.
+        """
+        faded = self.fading.apply(x)
+        if self.sample_delay:
+            y = np.zeros(
+                faded.shape[:-1] + (faded.shape[-1] + self.sample_delay,),
+                dtype=np.complex128,
+            )
+            y[..., self.sample_delay :] = faded
+        else:
+            # Every fading model returns a fresh array, safe to mutate.
+            y = faded
+        if self.cfo_normalized:
+            indices = np.arange(y.shape[-1])
+            y *= np.exp(2j * np.pi * self.cfo_normalized * indices)
+        noise_variance = self._noise_variance_for(y)
+        if noise_variance:
+            y += awgn_noise(y.shape, noise_variance, self.rng)
+        if self.iq_amplitude_db or self.iq_phase_deg:
+            g = 10.0 ** (self.iq_amplitude_db / 20.0)
+            phi = np.deg2rad(self.iq_phase_deg)
+            alpha = 0.5 * (1.0 + g * np.exp(1j * phi))
+            beta = 0.5 * (1.0 - g * np.exp(1j * phi))
+            # Operand order matters for bit-exactness: numpy's complex
+            # multiply fuses one product (FMA), so scalar*array and
+            # array*scalar differ in the last ULP.  Keep the reference's
+            # scalar-first order while still writing in place.
+            image = np.conj(y)
+            np.multiply(beta, image, out=image)
+            np.multiply(alpha, y, out=y)
+            y += image
+        if self.rx_quantization is not None:
+            y = self.rx_quantization.quantize_complex(y)
+        return y, noise_variance

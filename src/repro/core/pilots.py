@@ -68,6 +68,39 @@ class PilotProcessor:
         symbol[list(self.numerology.pilot_bins)] = self.pilot_values(symbol_index)
         return symbol
 
+    def insert_block(self, block: np.ndarray, start_index: int = 0) -> np.ndarray:
+        """Vectorised :meth:`insert` across a whole block of OFDM symbols.
+
+        Parameters
+        ----------
+        block:
+            Frequency-domain symbols with the subcarrier axis last and the
+            symbol axis second-to-last: shape ``(..., n_symbols, fft_size)``.
+            Any further leading axes (spatial streams) share the same
+            per-symbol pilot values.
+        start_index:
+            Burst index of the first symbol along the symbol axis (selects
+            the pilot polarities).
+
+        Returns
+        -------
+        A copy of ``block`` whose pilot bins hold exactly the values
+        :meth:`insert` writes for symbol index ``start_index + n``.
+        """
+        symbols = np.asarray(block, dtype=np.complex128).copy()
+        if symbols.ndim < 2:
+            raise ValueError("block must have shape (..., n_symbols, fft_size)")
+        if symbols.shape[-1] != self.numerology.fft_size:
+            raise ValueError("frequency-domain symbols have the wrong length")
+        n_symbols = symbols.shape[-2]
+        base = np.array(self.numerology.pilot_values, dtype=np.complex128)
+        polarity = self._polarity[
+            (start_index + np.arange(n_symbols)) % self._polarity.size
+        ].astype(np.float64)
+        # (n_symbols, n_pilots) — row n is pilot_values(start_index + n).
+        symbols[..., list(self.numerology.pilot_bins)] = base * polarity[:, None]
+        return symbols
+
     # ------------------------------------------------------------------
     def extract(self, frequency_domain: np.ndarray) -> np.ndarray:
         """Read the pilot subcarriers out of a frequency-domain symbol."""

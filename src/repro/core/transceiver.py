@@ -64,7 +64,13 @@ class LinkSimulationResult:
 
 
 class MimoTransceiver:
-    """Transmitter + channel + receiver wired together."""
+    """Transmitter + channel + receiver wired together.
+
+    ``vectorized_tx``/``vectorized_rx`` select the whole-burst batched
+    datapaths (default) or the per-symbol reference loops; ``backend``
+    names the :class:`~repro.dsp.backend.DspBackend` carrying the
+    vectorised transmitter's transform arithmetic.
+    """
 
     def __init__(
         self,
@@ -72,9 +78,13 @@ class MimoTransceiver:
         channel: Optional[MimoChannel] = None,
         sync_mode: str = "peak",
         vectorized_rx: bool = True,
+        vectorized_tx: bool = True,
+        backend=None,
     ) -> None:
         self.config = config if config is not None else TransceiverConfig()
-        self.transmitter = MimoTransmitter(self.config)
+        self.transmitter = MimoTransmitter(
+            self.config, vectorized=vectorized_tx, backend=backend
+        )
         self.receiver = MimoReceiver(
             self.config, sync_mode=sync_mode, vectorized=vectorized_rx
         )
@@ -120,12 +130,18 @@ class MimoTransceiver:
         if known_timing:
             lts_start = burst.layout.sts_length + self.channel.sample_delay
 
-        noise_variance = 1.0
-        if self.channel.snr_db is not None:
-            signal_power = float(np.mean(np.abs(output.samples) ** 2))
-            noise_variance = noise_variance_for_snr(
-                self.channel.snr_db, max(signal_power, 1e-12)
-            )
+        # The channel reports the exact variance it injected (calibrated
+        # against the occupied-sample signal power); fall back to measuring
+        # the noisy output only for duck-typed channels that do not.
+        noise_variance = getattr(output, "noise_variance", None)
+        if not noise_variance:
+            if self.channel.snr_db is not None:
+                signal_power = float(np.mean(np.abs(output.samples) ** 2))
+                noise_variance = noise_variance_for_snr(
+                    self.channel.snr_db, max(signal_power, 1e-12)
+                )
+            else:
+                noise_variance = 1.0
 
         result = self.receiver.receive(
             output.samples,

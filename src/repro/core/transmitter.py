@@ -6,6 +6,16 @@ encoder -> block interleaver -> LUT symbol mapper -> pilot insertion -> IFFT
 preamble (STS from antenna 0 only, one LTS slot per antenna) before the data
 OFDM symbols, exactly as Fig. 2 requires for receiver-side channel
 estimation.
+
+Mirroring the receive chain, the post-encoding datapath is vectorised over
+the whole burst: all streams' coded bits are interleaved and LUT-mapped in
+one pass, scattered into one ``(n_streams, n_symbols, fft_size)``
+frequency-domain block, pilot-inserted with one
+:meth:`~repro.core.pilots.PilotProcessor.insert_block` pass, transformed by
+a single planned IFFT (through the configured
+:class:`~repro.dsp.backend.DspBackend`), and cyclic-prefixed with one
+indexed gather.  The original per-symbol loop survives behind
+``vectorized=False`` as the bit-exact agreement-test reference.
 """
 
 from __future__ import annotations
@@ -21,6 +31,7 @@ from repro.core.config import TransceiverConfig
 from repro.core.frame import TransmitBurst
 from repro.core.pilots import PilotProcessor
 from repro.core.preamble import PreambleGenerator
+from repro.dsp.backend import BackendLike, get_backend
 from repro.dsp.fft import ofdm_modulate
 from repro.exceptions import ConfigurationError
 from repro.modulation.mapper import SymbolMapper
@@ -35,10 +46,26 @@ class MimoTransmitter:
     config:
         Transceiver configuration; defaults to the paper's synthesised
         configuration (4x4, 16-QAM, 64-point OFDM, rate 1/2).
+    vectorized:
+        Build the burst through the whole-burst batched datapath (default).
+        ``False`` selects the original per-symbol loop, kept as the
+        bit-exact reference for the agreement tests.
+    backend:
+        :class:`~repro.dsp.backend.DspBackend` (or registry name) carrying
+        the transform arithmetic of the vectorised path.  The default
+        complex128 numpy backend is bit-identical to the scalar loop; the
+        ``"numpy32"`` backend runs the IFFTs in single precision.
     """
 
-    def __init__(self, config: Optional[TransceiverConfig] = None) -> None:
+    def __init__(
+        self,
+        config: Optional[TransceiverConfig] = None,
+        vectorized: bool = True,
+        backend: BackendLike = None,
+    ) -> None:
         self.config = config if config is not None else TransceiverConfig()
+        self.vectorized = vectorized
+        self.backend = get_backend(backend)
         self.numerology = self.config.numerology
         self.preamble = PreambleGenerator(self.config.fft_size)
         self.pilots = PilotProcessor(self.numerology)
@@ -123,6 +150,52 @@ class MimoTransmitter:
         return np.concatenate(waveform)
 
     # ------------------------------------------------------------------
+    # whole-burst datapath
+    # ------------------------------------------------------------------
+    def _map_block(self, padded_bits: np.ndarray, n_symbols: int) -> np.ndarray:
+        """Interleave, map and pilot-insert every stream's burst in one pass.
+
+        ``padded_bits`` has shape ``(n_streams, n_symbols * n_cbps)``; the
+        result is the ``(n_streams, n_symbols, fft_size)`` frequency-domain
+        block, value-identical to running :meth:`_map_stream` per stream
+        (the interleaver permutes all blocks with one fancy index, the LUT
+        mapper packs every symbol's address in one reshape, and the pilots
+        land with one :meth:`~repro.core.pilots.PilotProcessor.insert_block`
+        pass).
+        """
+        n_cbps = self.config.coded_bits_per_symbol
+        n_bpsc = self.config.bits_per_subcarrier
+        fft_size = self.config.fft_size
+        n_streams = padded_bits.shape[0]
+        data_bins = list(self.numerology.data_bins)
+
+        interleaved = interleave(padded_bits, n_cbps, n_bpsc)
+        points = self.mapper.map_bits(interleaved)
+        block = np.zeros((n_streams, n_symbols, fft_size), dtype=np.complex128)
+        block[..., data_bins] = points.reshape(n_streams, n_symbols, len(data_bins))
+        return self.pilots.insert_block(block)
+
+    def _modulate_block(self, frequency_block: np.ndarray) -> np.ndarray:
+        """One planned IFFT + one strided CP gather for the whole burst.
+
+        ``frequency_block`` has shape ``(n_streams, n_symbols, fft_size)``;
+        the result is ``(n_streams, n_symbols * samples_per_symbol)`` time
+        samples, value-identical to per-symbol
+        :func:`~repro.dsp.fft.ofdm_modulate` (the backend's batched IFFT
+        runs the same butterflies row by row, and the gather index copies
+        exactly the prefix + symbol concatenation).
+        """
+        n_streams, n_symbols, fft_size = frequency_block.shape
+        cp = self.config.cyclic_prefix_length
+        if n_symbols == 0:
+            return np.zeros((n_streams, 0), dtype=np.complex128)
+        time_domain = self.backend.ifft(frequency_block)
+        gather = np.concatenate(
+            [np.arange(fft_size - cp, fft_size), np.arange(fft_size)]
+        )
+        return time_domain[..., gather].reshape(n_streams, -1)
+
+    # ------------------------------------------------------------------
     # burst assembly
     # ------------------------------------------------------------------
     def transmit(self, stream_bits: Sequence[np.ndarray]) -> TransmitBurst:
@@ -163,11 +236,14 @@ class MimoTransmitter:
             full[: coded.size] = coded
             padded.append(full)
 
-        frequency_symbols = np.zeros(
-            (n_streams, n_symbols, self.config.fft_size), dtype=np.complex128
-        )
-        for stream in range(n_streams):
-            frequency_symbols[stream] = self._map_stream(padded[stream], n_symbols)
+        if self.vectorized:
+            frequency_symbols = self._map_block(np.stack(padded), n_symbols)
+        else:
+            frequency_symbols = np.zeros(
+                (n_streams, n_symbols, self.config.fft_size), dtype=np.complex128
+            )
+            for stream in range(n_streams):
+                frequency_symbols[stream] = self._map_stream(padded[stream], n_symbols)
 
         preamble_waveform = self.preamble.mimo_preamble(n_streams)
         layout = self.preamble.layout(n_streams)
@@ -182,10 +258,16 @@ class MimoTransmitter:
             dtype=np.complex128,
         )
         burst[:, : layout.total_length] = preamble_waveform
-        for stream in range(n_streams):
-            burst[stream, layout.total_length : layout.total_length + data_length] = (
-                self._modulate_stream(frequency_symbols[stream])
+        data_end = layout.total_length + data_length
+        if self.vectorized:
+            burst[:, layout.total_length : data_end] = self._modulate_block(
+                frequency_symbols
             )
+        else:
+            for stream in range(n_streams):
+                burst[stream, layout.total_length : data_end] = (
+                    self._modulate_stream(frequency_symbols[stream])
+                )
 
         return TransmitBurst(
             samples=burst,

@@ -59,9 +59,15 @@ class JsonCache:
         path = self.path_for(key)
         try:
             with path.open("r", encoding="utf-8") as handle:
-                return json.load(handle)
+                payload = json.load(handle)
         except (OSError, ValueError):
             return None
+        # Every put() stores a dict; any other valid-JSON content (a bare
+        # list, string, number...) is a truncated or foreign file wearing
+        # the key's name — corruption, so a miss, not a crash downstream.
+        if not isinstance(payload, dict):
+            return None
+        return payload
 
     def put(self, key: str, payload: dict) -> Path:
         """Store ``payload`` under ``key`` atomically; returns the file path."""

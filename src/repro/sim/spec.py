@@ -39,7 +39,11 @@ from repro.dsp.fixedpoint import (
 #: entries from an older engine can never be mistaken for fresh results.
 #: Version 2: front-end impairment axes (the expansion order of the grid
 #: gained an axis, so every point's RNG stream moved).
-ENGINE_VERSION = 2
+#: Version 3: SNR calibrated against occupied-sample signal power (delay
+#: padding and idle tails no longer dilute it), the receive-mixer IQ
+#: imbalance moved after noise injection, and receivers use the exact
+#: injected noise variance instead of re-measuring the noisy output.
+ENGINE_VERSION = 3
 
 #: Channel models the engine knows how to build (see ``repro.sim.engine``).
 CHANNEL_MODELS = ("ideal", "flat_rayleigh", "frequency_selective")
@@ -333,12 +337,22 @@ class SweepSpec:
 
         Any field change — including the engine version — yields a new
         hash, so cached results can never leak across different sweeps.
-        (Runner knobs like batch size and worker count are deliberately
-        absent: they do not affect the reported statistics.)
+        The active DSP backend participates too: a sweep run under the
+        single-precision backend must never be served results simulated in
+        double precision, or vice versa.  (Runner knobs like batch size and
+        worker count are deliberately absent: they do not affect the
+        reported statistics.)
         """
+        from repro.dsp.backend import default_backend
         from repro.sim.cache import content_key
 
-        return content_key({"engine_version": ENGINE_VERSION, **self.to_dict()})
+        return content_key(
+            {
+                "engine_version": ENGINE_VERSION,
+                "dsp_backend": default_backend().name,
+                **self.to_dict(),
+            }
+        )
 
     def subset(self, **changes) -> "SweepSpec":
         """A copy of the spec with some fields replaced."""

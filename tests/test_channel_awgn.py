@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.channel.awgn import add_awgn, awgn_noise, noise_variance_for_snr
+from repro.channel.awgn import (
+    add_awgn,
+    awgn_noise,
+    noise_variance_for_snr,
+    occupied_power,
+)
 
 
 class TestNoiseVariance:
@@ -40,6 +45,34 @@ class TestAwgnNoise:
             awgn_noise(10, -1.0)
 
 
+class TestOccupiedPower:
+    def test_matches_plain_mean_when_fully_occupied(self):
+        rng = np.random.default_rng(20)
+        signal = rng.normal(size=1000) + 1j * rng.normal(size=1000)
+        assert occupied_power(signal) == pytest.approx(np.mean(np.abs(signal) ** 2))
+
+    def test_zero_padding_does_not_dilute(self):
+        signal = np.ones(100, dtype=complex)
+        padded = np.concatenate([np.zeros(400, dtype=complex), signal, np.zeros(500, dtype=complex)])
+        assert occupied_power(padded) == pytest.approx(1.0)
+        assert occupied_power(signal) == occupied_power(padded)
+
+    def test_multi_antenna_column_occupancy(self):
+        # A staggered-preamble instant where only one antenna radiates is
+        # still occupied air time: the column counts with its full power
+        # (including the silent antennas' zeros), only all-silent columns
+        # are excluded.
+        x = np.zeros((2, 4), dtype=complex)
+        x[0, 1] = 2.0  # only antenna 0 active at instant 1
+        x[:, 2] = 1.0  # both antennas active at instant 2
+        # Occupied columns: 1 and 2 -> mean over 2 antennas * 2 instants.
+        assert occupied_power(x) == pytest.approx((4.0 + 0.0 + 1.0 + 1.0) / 4.0)
+
+    def test_silent_and_empty_signals(self):
+        assert occupied_power(np.zeros(16, dtype=complex)) == 0.0
+        assert occupied_power(np.zeros((4, 0), dtype=complex)) == 0.0
+
+
 class TestAddAwgn:
     def test_achieved_snr(self):
         rng = np.random.default_rng(3)
@@ -70,3 +103,27 @@ class TestAddAwgn:
         # Noise sized for unit signal power -> variance 0.01 regardless of
         # the actual (weaker) signal.
         assert noise_power == pytest.approx(0.01, rel=0.05)
+
+    def test_explicit_signal_power_overrides_measurement(self):
+        signal = 0.1 * np.ones(50_000, dtype=complex)
+        noisy = add_awgn(signal, 20.0, rng=9, signal_power=4.0)
+        noise_power = np.mean(np.abs(noisy - signal) ** 2)
+        assert noise_power == pytest.approx(0.04, rel=0.05)
+
+    def test_delivered_snr_invariant_to_zero_padding(self):
+        # Regression: the signal power used to be averaged over the whole
+        # window, so a sample_delay zero pad or an idle tail quietly raised
+        # the delivered SNR.  The occupied-sample measurement makes the
+        # injected noise variance identical with and without the padding.
+        rng = np.random.default_rng(21)
+        signal = np.exp(1j * rng.uniform(0, 2 * np.pi, 20_000))
+        padded = np.concatenate(
+            [np.zeros(5_000, dtype=complex), signal, np.zeros(5_000, dtype=complex)]
+        )
+        plain_noisy = add_awgn(signal, 12.0, rng=22)
+        padded_noisy = add_awgn(padded, 12.0, rng=23)
+        plain_var = np.mean(np.abs(plain_noisy - signal) ** 2)
+        padded_var = np.mean(np.abs(padded_noisy - padded) ** 2)
+        assert padded_var == pytest.approx(plain_var, rel=0.05)
+        achieved = 10 * np.log10(1.0 / padded_var)
+        assert achieved == pytest.approx(12.0, abs=0.2)

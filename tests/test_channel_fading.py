@@ -25,6 +25,30 @@ class TestRayleighMatrix:
         with pytest.raises(ValueError):
             rayleigh_matrix(0, 4)
 
+    def test_power_convention(self):
+        # normalize=True draws CN(0, 1) entries (unit average power);
+        # normalize=False leaves the raw unit-variance-per-component draw,
+        # i.e. average entry power 2.  Pin both so the convention cannot
+        # drift silently.
+        rng = np.random.default_rng(11)
+        normalized = np.mean(
+            [np.mean(np.abs(rayleigh_matrix(4, 4, rng)) ** 2) for _ in range(400)]
+        )
+        raw = np.mean(
+            [
+                np.mean(np.abs(rayleigh_matrix(4, 4, rng, normalize=False)) ** 2)
+                for _ in range(400)
+            ]
+        )
+        assert normalized == pytest.approx(1.0, rel=0.05)
+        assert raw == pytest.approx(2.0, rel=0.05)
+
+    def test_normalize_rescales_the_same_draw(self):
+        # Same seed -> same underlying Gaussian draw; the flag only scales.
+        a = rayleigh_matrix(3, 3, rng=np.random.default_rng(12))
+        b = rayleigh_matrix(3, 3, rng=np.random.default_rng(12), normalize=False)
+        np.testing.assert_allclose(b, a * np.sqrt(2.0))
+
 
 class TestPowerDelayProfile:
     def test_sums_to_one(self):

@@ -186,3 +186,62 @@ class TestMimoChannel:
         channel = MimoChannel(FlatRayleighChannel(n_rx=4, n_tx=4, rng=5))
         assert channel.n_rx == 4
         assert channel.n_tx == 4
+
+
+class TestNoiseCalibration:
+    """Occupied-power SNR calibration and the reported noise variance."""
+
+    def test_noise_variance_reported(self):
+        x = np.ones((4, 1000), dtype=complex)
+        output = MimoChannel(snr_db=20.0, rng=30).transmit(x)
+        # Unit signal power, 20 dB -> variance 0.01, reported exactly.
+        assert output.noise_variance == pytest.approx(0.01)
+        assert MimoChannel(rng=31).transmit(x).noise_variance is None
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_delivered_snr_invariant_to_sample_delay(self, vectorized):
+        # Regression: the SNR used to be calibrated against the mean power
+        # of the whole observation window, so the zero pad a sample_delay
+        # prepends diluted the measurement and raised the delivered SNR.
+        rng = np.random.default_rng(32)
+        x = np.exp(1j * rng.uniform(0, 2 * np.pi, (4, 20_000)))
+
+        def run(delay):
+            channel = MimoChannel(
+                snr_db=10.0, sample_delay=delay, rng=33, vectorized=vectorized
+            )
+            output = channel.transmit(x)
+            noise = output.samples[:, delay:] - x
+            return output.noise_variance, float(np.mean(np.abs(noise) ** 2))
+
+        var_no_delay, measured_no_delay = run(0)
+        var_delayed, measured_delayed = run(1_000)
+        assert var_delayed == var_no_delay
+        assert measured_delayed == pytest.approx(measured_no_delay, rel=0.05)
+        achieved = 10 * np.log10(1.0 / measured_delayed)
+        assert achieved == pytest.approx(10.0, abs=0.2)
+
+    @pytest.mark.parametrize("vectorized", [True, False])
+    def test_iq_imbalance_distorts_the_noise_too(self, vectorized):
+        # The IQ imbalance models the *receive* mixer, so it must run after
+        # noise injection: the output equals noise-then-IQ, not IQ-then-noise.
+        rng = np.random.default_rng(34)
+        x = np.exp(1j * rng.uniform(0, 2 * np.pi, (4, 5_000)))
+        channel = MimoChannel(
+            snr_db=15.0,
+            iq_amplitude_db=1.0,
+            iq_phase_deg=4.0,
+            rng=35,
+            vectorized=vectorized,
+        )
+        output = channel.transmit(x)
+
+        from repro.channel.awgn import awgn_noise
+
+        noisy = x + awgn_noise(x.shape, output.noise_variance, np.random.default_rng(35))
+        expected = apply_iq_imbalance(noisy, 1.0, 4.0)
+        np.testing.assert_allclose(output.samples, expected, atol=1e-12)
+        wrong_order = apply_iq_imbalance(x, 1.0, 4.0) + awgn_noise(
+            x.shape, output.noise_variance, np.random.default_rng(35)
+        )
+        assert not np.allclose(output.samples, wrong_order, atol=1e-6)

@@ -1,13 +1,17 @@
 """Bit-exact agreement between the vectorised hot paths and their scalar references.
 
-The :mod:`repro.sim` engine leans on three vectorised inner loops — the
+The :mod:`repro.sim` engine leans on the vectorised inner loops — the
 Viterbi add-compare-select in :mod:`repro.coding.viterbi`, the batched
-symbol demapper in :mod:`repro.modulation.demapper`, and the whole-burst
+symbol demapper in :mod:`repro.modulation.demapper`, the whole-burst
 receive chain in :mod:`repro.core.receiver` (planned FFT gather, batched
-ZF/MMSE detection and block pilot correction).  Each keeps its original
-scalar implementation around precisely so these property-style tests can
-assert exact equality across random codewords, constellations, noise
-levels, puncturing patterns and full receiver configurations.
+ZF/MMSE detection and block pilot correction), the whole-burst transmit
+chain in :mod:`repro.core.transmitter` (block interleave/map, block pilot
+insertion, one planned IFFT, strided cyclic-prefix gather) and the fused
+channel pipeline in :mod:`repro.channel.model`.  Each keeps its original
+scalar/stage-at-a-time implementation around precisely so these
+property-style tests can assert exact equality across random codewords,
+constellations, noise levels, puncturing patterns, impairment combinations
+and full transceiver configurations.
 """
 
 import numpy as np
@@ -269,6 +273,149 @@ class TestReceiverBatchAgreement:
         est_s = scalar.estimate_channel(samples, lts_start)
         np.testing.assert_array_equal(est_b.matrices, est_s.matrices)
         np.testing.assert_array_equal(est_b.inverses, est_s.inverses)
+
+
+class TestTransmitterBatchAgreement:
+    """Whole-burst transmit chain vs the retained per-symbol reference."""
+
+    @pytest.mark.parametrize("rate", ALL_RATES)
+    @pytest.mark.parametrize("modulation", ALL_MODULATIONS)
+    def test_bursts_identical_across_the_code_grid(self, modulation, rate):
+        config = TransceiverConfig(modulation=modulation, code_rate=rate)
+        seed = 1000 + 10 * modulation.bits_per_symbol + ALL_RATES.index(rate)
+        rng = np.random.default_rng(seed)
+        bits = [
+            rng.integers(0, 2, size=int(rng.integers(40, 700)), dtype=np.uint8)
+            for _ in range(config.n_streams)
+        ]
+        batched = MimoTransmitter(config, vectorized=True).transmit(bits)
+        scalar = MimoTransmitter(config, vectorized=False).transmit(bits)
+        np.testing.assert_array_equal(batched.samples, scalar.samples)
+        np.testing.assert_array_equal(
+            batched.frequency_symbols, scalar.frequency_symbols
+        )
+        for coded_b, coded_s in zip(batched.coded_bits, scalar.coded_bits):
+            np.testing.assert_array_equal(coded_b, coded_s)
+
+    @pytest.mark.parametrize("n_streams", [2, 4])
+    def test_antenna_counts_agree(self, n_streams):
+        config = TransceiverConfig(n_antennas=n_streams)
+        rng = np.random.default_rng(90 + n_streams)
+        bits = [
+            rng.integers(0, 2, size=300, dtype=np.uint8) for _ in range(n_streams)
+        ]
+        batched = MimoTransmitter(config, vectorized=True).transmit(bits)
+        scalar = MimoTransmitter(config, vectorized=False).transmit(bits)
+        np.testing.assert_array_equal(batched.samples, scalar.samples)
+
+    def test_pilot_insert_block_matches_per_symbol_insert(self):
+        numerology = TransceiverConfig().numerology
+        processor = PilotProcessor(numerology)
+        rng = np.random.default_rng(91)
+        block = rng.normal(size=(4, 7, 64)) + 1j * rng.normal(size=(4, 7, 64))
+        inserted = processor.insert_block(block, start_index=3)
+        for stream in range(4):
+            for n in range(7):
+                np.testing.assert_array_equal(
+                    inserted[stream, n], processor.insert(block[stream, n], 3 + n)
+                )
+
+    @pytest.mark.parametrize("detector", ["zf", "mmse"])
+    @pytest.mark.parametrize("soft_decision", [False, True])
+    @pytest.mark.parametrize("quantized", [False, True])
+    def test_full_link_matrix_decodes_identically(
+        self, detector, soft_decision, quantized
+    ):
+        # The transmit path is the only knob: both bursts cross the same
+        # channel realisation and the same (batched) receiver, so every
+        # decoded bit and equalised symbol must be bit-identical.
+        config = TransceiverConfig(
+            detector=detector,
+            soft_decision=soft_decision,
+            rx_multiplier_format=MULTIPLIER_FORMAT_18BIT if quantized else None,
+        )
+        seed = (
+            800 * int(detector == "mmse")
+            + 400 * int(soft_decision)
+            + 200 * int(quantized)
+            + 3000
+        )
+        rng = np.random.default_rng(seed)
+        bits = [
+            rng.integers(0, 2, size=360, dtype=np.uint8)
+            for _ in range(config.n_streams)
+        ]
+        receiver = MimoReceiver(config)
+        results = []
+        for vectorized in (True, False):
+            burst = MimoTransmitter(config, vectorized=vectorized).transmit(bits)
+            channel = MimoChannel(
+                FlatRayleighChannel(rng=seed + 1), snr_db=16.0, rng=seed + 2
+            )
+            output = channel.transmit(burst.samples)
+            results.append(
+                receiver.receive(
+                    output.samples,
+                    n_info_bits=360,
+                    noise_variance=output.noise_variance,
+                )
+            )
+        _assert_results_identical(*results)
+
+
+CHANNEL_IMPAIRMENT_CASES = [
+    {},
+    {"snr_db": 12.0},
+    {"cfo_normalized": 2e-4},
+    {"sample_delay": 23},
+    {"iq_amplitude_db": 0.5, "iq_phase_deg": 2.0},
+    {"snr_db": 8.0, "sample_delay": 11, "iq_amplitude_db": 0.3, "iq_phase_deg": -3.0},
+    {
+        "snr_db": 15.0,
+        "cfo_normalized": 1e-4,
+        "sample_delay": 17,
+        "iq_amplitude_db": 1.0,
+        "iq_phase_deg": 4.0,
+    },
+]
+
+
+class TestChannelFusedAgreement:
+    """Fused whole-burst channel pipeline vs the stage-at-a-time reference.
+
+    Noise consumes the generator, so each compared path gets a freshly
+    seeded channel — identical seeds, identical draws.
+    """
+
+    @pytest.mark.parametrize("case", CHANNEL_IMPAIRMENT_CASES)
+    @pytest.mark.parametrize("fading", ["ideal", "flat", "selective"])
+    def test_every_impairment_combination_agrees(self, fading, case):
+        from repro.dsp.fixedpoint import SAMPLE_FORMAT_16BIT
+
+        rng = np.random.default_rng(5000)
+        x = rng.normal(size=(4, 1500)) + 1j * rng.normal(size=(4, 1500))
+        kwargs = dict(case)
+        kwargs["tx_quantization"] = SAMPLE_FORMAT_16BIT
+        kwargs["rx_quantization"] = SAMPLE_FORMAT_16BIT
+
+        def build(vectorized):
+            if fading == "flat":
+                model = FlatRayleighChannel(4, 4, rng=np.random.default_rng(5001))
+            elif fading == "selective":
+                model = FrequencySelectiveChannel(4, 4, rng=np.random.default_rng(5001))
+            else:
+                model = None
+            return MimoChannel(
+                model,
+                rng=np.random.default_rng(5002),
+                vectorized=vectorized,
+                **kwargs,
+            )
+
+        fused = build(True).transmit(x)
+        staged = build(False).transmit(x)
+        np.testing.assert_array_equal(fused.samples, staged.samples)
+        assert fused.noise_variance == staged.noise_variance
 
 
 class TestPilotBlockAgreement:

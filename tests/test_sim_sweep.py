@@ -431,6 +431,17 @@ class TestJsonCache:
         cache.path_for("bad").write_text("not json{")
         assert cache.get("bad") is None
 
+    @pytest.mark.parametrize("payload", ["[1, 2, 3]", '"a string"', "42", "null"])
+    def test_non_dict_entry_is_a_miss(self, tmp_path, payload):
+        # Regression: any valid-JSON file was returned verbatim, so a
+        # truncated or foreign file parsing to a list/string/number escaped
+        # get() and crashed SweepResult.from_dict downstream.  put() only
+        # ever stores dicts, so anything else is corruption -> a miss.
+        cache = JsonCache(tmp_path)
+        cache.path_for("odd").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("odd").write_text(payload)
+        assert cache.get("odd") is None
+
     def test_clear(self, tmp_path):
         cache = JsonCache(tmp_path)
         cache.put("a", {})

@@ -7,8 +7,11 @@ Two checks, run via ``make docs-check``:
    docstring (the tree is walked and AST-parsed; files whose name or
    parent package starts with an underscore are exempt);
 2. every page in ``REQUIRED_DOCS`` exists under ``docs/``, is non-empty,
-   and is linked from the README (a guide nobody can find is as good as
-   missing).
+   is linked from the README (a guide nobody can find is as good as
+   missing), and contains the section headings ``REQUIRED_SECTIONS``
+   promises for it (a page that silently drops its batched-datapath or
+   backend-seam section would leave the code undocumented while the
+   gate stays green).
 """
 
 from __future__ import annotations
@@ -26,6 +29,17 @@ REQUIRED_DOCS = (
     "docs/simulation.md",
     "docs/streaming.md",
 )
+
+#: Section headings each doc page promises (matched as substrings of the
+#: page text, so heading levels can move without breaking the gate).
+REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
+    "docs/simulation.md": (
+        "The batched transmit path and the DSP backend seam",
+    ),
+    "docs/streaming.md": (
+        "Air-interface cost",
+    ),
+}
 
 
 def public_modules(root: Path) -> list[Path]:
@@ -66,11 +80,15 @@ def missing_required_docs() -> list[str]:
         if not page.is_file():
             problems.append(f"{relative}: missing")
             continue
-        if not page.read_text(encoding="utf-8").strip():
+        text = page.read_text(encoding="utf-8")
+        if not text.strip():
             problems.append(f"{relative}: empty")
             continue
         if relative not in readme_text:
             problems.append(f"{relative}: not linked from README.md")
+        for section in REQUIRED_SECTIONS.get(relative, ()):
+            if section not in text:
+                problems.append(f"{relative}: missing section {section!r}")
     return problems
 
 
