@@ -2,26 +2,33 @@
 #
 #   make test              - tier-1 test suite (tests/ + benchmarks/, fail fast)
 #   make test-fast         - unit tests only (skips the benchmark harness)
+#   make test-store        - result-store tier: store/queue semantics, crash/
+#                            resume, concurrency, adaptive refinement, sharing gates
 #   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
 #   make bench-impairments - front-end impairment grid smoke (CFO x word length x SNR)
 #   make bench-rx          - batched receiver datapath vs per-symbol loop speedup
 #   make bench-link        - batched transmit + fused channel vs per-symbol/staged
+#   make bench-store       - per-point store gates: zero-burst warm re-run +
+#                            overlapping grids sharing their intersection
 #   make bench-stream      - streaming downlink service: 1000 concurrent user
 #                            streams, sustained frames/sec + latency percentiles
 #   make docs-check        - fail if any public module lacks a module docstring
 #                            and every required doc page is present + linked
-#   make clean-cache       - drop the repro.sim JSON result cache
+#   make clean-cache       - drop the repro.sim result store + JSON cache
 
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast bench-smoke bench-impairments bench-rx bench-link bench-stream docs-check clean-cache
+.PHONY: test test-fast test-store bench-smoke bench-impairments bench-rx bench-link bench-store bench-stream docs-check clean-cache
 
 test:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
 test-fast:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests -q
+
+test-store:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests/test_sim_store.py tests/test_sim_queue.py tests/test_sim_resume.py tests/test_sim_adaptive.py benchmarks/test_sweep_store.py -q --benchmark-disable
 
 bench-smoke:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks -q --benchmark-disable
@@ -35,6 +42,9 @@ bench-rx:
 bench-link:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_link_datapath.py -q --benchmark-disable -s
 
+bench-store:
+	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest benchmarks/test_sweep_store.py -q --benchmark-disable -s
+
 bench-stream:
 	$(PYTHONPATH_PREFIX) REPRO_STREAM_USERS=1000 $(PYTHON) -m pytest benchmarks/test_streaming_service.py -q --benchmark-disable -s
 
@@ -42,4 +52,4 @@ docs-check:
 	$(PYTHON) tools/docs_check.py
 
 clean-cache:
-	$(PYTHONPATH_PREFIX) $(PYTHON) -c "from repro.sim import JsonCache; print(JsonCache().clear(), 'entries removed')"
+	$(PYTHONPATH_PREFIX) $(PYTHON) -c "from repro.sim import JsonCache, ResultStore; print(ResultStore().clear(), 'point records and', JsonCache().clear(), 'cache entries removed')"

@@ -15,8 +15,9 @@ These helpers quantify that argument for the reproduced system:
   operating point becomes information-theoretically feasible;
 * :func:`ergodic_capacity_curve` — a whole capacity-vs-SNR curve, batched
   over realizations (one stacked ``slogdet`` instead of a Python loop) and
-  memoised through the same JSON cache the :mod:`repro.sim` sweep engine
-  uses, so analysis notebooks re-plot for free.
+  memoised point by point through the same sharded result store the
+  :mod:`repro.sim` sweep engine uses, so analysis notebooks re-plot for
+  free and denser grids reuse every previously computed SNR.
 """
 
 from __future__ import annotations
@@ -98,47 +99,65 @@ def ergodic_capacity_curve(
     rng: int = 0,
     cache: Union[None, bool, str] = True,
 ) -> Dict[float, float]:
-    """Ergodic capacity (bits/s/Hz) at every SNR of a grid, memoised.
+    """Ergodic capacity (bits/s/Hz) at every SNR of a grid, memoised per point.
 
-    The curve is keyed by its parameters and stored through the same JSON
-    cache (:class:`repro.sim.cache.JsonCache`) the sweep engine uses, so
-    regenerating a plot costs one file read.  ``rng`` must be an integer
-    seed (not a generator) — the cache key has to determine the draw.
+    Each SNR point is an independent record in the sharded
+    :class:`~repro.sim.store.ResultStore` the sweep engine uses, keyed by
+    the point's parameters alone — not the grid it appeared in.  The
+    channel draw behind each point is seeded from that same content key, so
+    a denser or re-ordered grid reuses every previously computed point
+    verbatim and only the new SNRs cost a ``slogdet`` batch.  ``rng`` must
+    be an integer seed (not a generator) — the record key has to determine
+    the draw.
 
     Parameters
     ----------
     cache:
-        ``True`` (default) uses the shared cache directory; a string/path
-        selects a specific directory; ``None``/``False`` disables caching.
+        ``True`` (default) uses the shared store directory; a string/path
+        selects a specific directory; ``None``/``False`` disables
+        memoisation.
     """
     grid = tuple(float(snr) for snr in snr_grid_db)
-    key_payload = {
-        "kind": "ergodic_capacity_curve",
-        "snr_grid_db": grid,
-        "n_rx": n_rx,
-        "n_tx": n_tx,
-        "n_realizations": n_realizations,
-        "rng": rng,
-    }
     store = None
-    key = None
+    keys: Dict[float, str] = {}
+    curve: Dict[float, float] = {}
+
+    def point_payload(snr: float) -> dict:
+        return {
+            "record": "ergodic-capacity",
+            "n_rx": n_rx,
+            "n_tx": n_tx,
+            "n_realizations": n_realizations,
+            "rng": rng,
+            "snr_db": snr,
+        }
+
     if cache:
-        from repro.sim.cache import JsonCache, content_key
+        from repro.sim.cache import content_key
+        from repro.sim.store import ResultStore
 
-        store = JsonCache(None if cache is True else cache)
-        key = content_key(key_payload, prefix="capacity-")
-        cached = store.get(key)
-        if cached is not None:
-            return {float(snr): value for snr, value in cached["curve"]}
+        store = ResultStore(None if cache is True else cache)
+        keys = {snr: content_key(point_payload(snr), prefix="cap-") for snr in grid}
+        found = store.get_many(keys.values())
+        for snr in grid:
+            payload = found.get(keys[snr])
+            if payload is not None and isinstance(payload.get("capacity"), float):
+                curve[snr] = payload["capacity"]
 
-    generator = make_rng(rng)
-    curve = {
-        snr: ergodic_mimo_capacity(n_rx, n_tx, snr, n_realizations, rng=generator)
-        for snr in grid
-    }
-    if store is not None and key is not None:
-        store.put(key, {**key_payload, "curve": [[snr, c] for snr, c in curve.items()]})
-    return curve
+    for snr in grid:
+        if snr in curve:
+            continue
+        from repro.sim.cache import content_key
+
+        # Seed from the point's own content so the draw is a pure function
+        # of the point — grids of any shape agree on every shared SNR.
+        entropy = int(content_key(point_payload(snr)), 16)
+        generator = make_rng(np.random.SeedSequence(entropy))
+        capacity = ergodic_mimo_capacity(n_rx, n_tx, snr, n_realizations, rng=generator)
+        curve[snr] = capacity
+        if store is not None:
+            store.put(keys[snr], {**point_payload(snr), "capacity": capacity})
+    return {snr: curve[snr] for snr in grid}
 
 
 def required_snr_for_rate(

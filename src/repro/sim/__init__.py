@@ -1,4 +1,4 @@
-"""Batched link-simulation engine: typed sweeps, worker pools, result cache.
+"""Batched link-simulation engine: typed sweeps, work queues, result store.
 
 ``repro.sim`` is the scale layer of the reproduction.  Where
 :func:`repro.core.transceiver.simulate_link` runs one operating point burst
@@ -10,10 +10,15 @@ executes them efficiently:
   modulation, code rate, stream count, channel model, detector and
   front-end impairment (:class:`~repro.sim.spec.ImpairmentSpec`: CFO,
   timing delay, IQ imbalance, fixed-point word lengths);
-* :class:`~repro.sim.runner.SweepRunner` — fans bursts out over a
-  ``multiprocessing`` pool in deterministically seeded batches, stops each
-  grid point early once its bit-error target is reached, and serves
-  repeated sweeps from a JSON cache keyed by the spec's content hash;
+* :class:`~repro.sim.runner.SweepRunner` — drains deterministically seeded
+  burst batches through a pluggable work queue (:mod:`repro.sim.queue`),
+  stops each grid point early once its bit-error target is reached, commits
+  every finished point atomically to the sharded per-point
+  :class:`~repro.sim.store.ResultStore`, and resumes interrupted or
+  overlapping sweeps from it — simulating only the missing remainder;
+* :meth:`~repro.sim.runner.SweepRunner.run_adaptive` — adaptive refinement:
+  extra bursts go to the points whose BER confidence intervals
+  (:mod:`repro.sim.stats`: Wilson / Clopper–Pearson) are widest;
 * :mod:`~repro.sim.engine` — the burst-level backbone shared with
   ``simulate_link``, so the one-point and grid APIs run the exact same
   physics.
@@ -36,7 +41,13 @@ Quick start::
 See ``docs/simulation.md`` for the full engine guide.
 """
 
-from repro.sim.cache import JsonCache, default_cache_dir
+from repro.sim.cache import JsonCache, content_key, default_cache_dir
+from repro.sim.queue import (
+    InProcessQueue,
+    MultiprocessingQueue,
+    WorkQueue,
+    make_queue,
+)
 from repro.sim.runner import SweepRunner, run_sweep
 from repro.sim.spec import (
     ENGINE_VERSION,
@@ -46,16 +57,35 @@ from repro.sim.spec import (
     SweepResult,
     SweepSpec,
 )
+from repro.sim.stats import (
+    allocate_bursts,
+    ber_interval,
+    clopper_pearson_interval,
+    wilson_interval,
+)
+from repro.sim.store import ResultStore, commit_json_file, default_store_dir
 
 __all__ = [
     "ENGINE_VERSION",
     "ImpairmentSpec",
+    "InProcessQueue",
     "JsonCache",
+    "MultiprocessingQueue",
+    "ResultStore",
     "SweepPoint",
     "SweepPointResult",
     "SweepResult",
     "SweepRunner",
     "SweepSpec",
+    "WorkQueue",
+    "allocate_bursts",
+    "ber_interval",
+    "clopper_pearson_interval",
+    "commit_json_file",
+    "content_key",
     "default_cache_dir",
+    "default_store_dir",
+    "make_queue",
     "run_sweep",
+    "wilson_interval",
 ]

@@ -16,7 +16,6 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Optional, Union
 
@@ -70,23 +69,18 @@ class JsonCache:
         return payload
 
     def put(self, key: str, payload: dict) -> Path:
-        """Store ``payload`` under ``key`` atomically; returns the file path."""
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self.path_for(key)
-        fd, temp_name = tempfile.mkstemp(
-            dir=self.directory, prefix=f".{key}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(payload, handle)
-            os.replace(temp_name, path)
-        except BaseException:
-            try:
-                os.unlink(temp_name)
-            except OSError:
-                pass
-            raise
-        return path
+        """Store ``payload`` under ``key`` atomically; returns the file path.
+
+        Delegates to :func:`repro.sim.store.commit_json_file`, whose
+        temp-write + ``fsync`` + ``os.replace`` recipe guarantees a crash at
+        any instant leaves either the previous entry or the complete new
+        one — never a torn file that :meth:`get` would misread.  (The
+        import is deferred: :mod:`repro.sim.store` imports this module for
+        the cache-directory resolution.)
+        """
+        from repro.sim.store import commit_json_file
+
+        return commit_json_file(self.path_for(key), payload)
 
     def clear(self) -> int:
         """Delete every entry and stale temp file; returns the number removed.

@@ -9,14 +9,17 @@ optional early stopping.  :func:`simulate_batch` is the unit of work the
 a module-level function taking one picklable payload so it crosses process
 boundaries untouched.
 
-Seeding contract: every batch derives its RNG streams from
-``SeedSequence([base_seed, point.index, batch_index])``, so results are
-bit-identical whether batches run serially, in any order, or on any number
-of workers.
+Seeding contract: every burst derives its RNG streams from
+``SeedSequence([content_hash(point.seed_payload(spec)), burst_index])``, so
+results are bit-identical whether batches run serially, in any order, or on
+any number of workers — and identical for the same physical cell across
+*different* grids, which is what lets the per-point result store share
+records between overlapping sweeps.
 """
 
 from __future__ import annotations
 
+import time
 from functools import lru_cache
 from typing import Callable, Dict, Optional
 
@@ -184,14 +187,24 @@ def simulate_point(
     }
 
 
-def burst_seed(spec: SweepSpec, point_index: int, burst_index: int) -> np.random.SeedSequence:
+def burst_seed(spec: SweepSpec, point: SweepPoint, burst_index: int) -> np.random.SeedSequence:
     """Deterministic seed of one (point, burst) cell of the seed tree.
 
     Seeding at burst granularity — not per batch or per worker — makes the
     simulated physics a pure function of the spec: re-batching the sweep or
     changing the pool size reruns the *same* bursts.
+
+    Since engine version 4 the point's entropy comes from the content hash
+    of its physics identity (:meth:`SweepPoint.seed_payload`) rather than
+    its grid index, so the same physical cell draws the same bursts in
+    *any* grid — the property the per-point result store's cross-sweep
+    sharing rests on — and a bigger burst budget extends the stream instead
+    of re-rolling it.
     """
-    return np.random.SeedSequence([spec.base_seed, point_index, burst_index])
+    from repro.sim.cache import content_key
+
+    entropy = int(content_key(point.seed_payload(spec)), 16)
+    return np.random.SeedSequence([entropy, int(burst_index)])
 
 
 def lost_frame_counts(n_info_bits: int, n_streams: int) -> Dict[str, int]:
@@ -254,6 +267,7 @@ def simulate_batch(task: dict) -> Dict[str, object]:
     point = SweepPoint.from_dict(task["point"])
     start_burst = int(task["start_burst"])
     n_bursts = int(task["n_bursts"])
+    batch_start = time.perf_counter()
 
     transceiver = _transceiver_for(build_config(point, spec), default_backend().name)
 
@@ -268,7 +282,7 @@ def simulate_batch(task: dict) -> Dict[str, object]:
     local_errors = 0
     for burst_index in range(start_burst, start_burst + n_bursts):
         payload_seed, fading_seed, noise_seed = burst_seed(
-            spec, point.index, burst_index
+            spec, point, burst_index
         ).spawn(3)
         fading = (
             fixed_fading
@@ -311,4 +325,8 @@ def simulate_batch(task: dict) -> Dict[str, object]:
         local_errors += burst["bit_errors"]
         if spec.target_errors is not None and local_errors >= spec.target_errors:
             break
-    return {"batch_index": int(task["batch_index"]), "bursts": bursts}
+    return {
+        "batch_index": int(task["batch_index"]),
+        "bursts": bursts,
+        "elapsed_s": time.perf_counter() - batch_start,
+    }

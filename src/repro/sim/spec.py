@@ -43,7 +43,11 @@ from repro.dsp.fixedpoint import (
 #: padding and idle tails no longer dilute it), the receive-mixer IQ
 #: imbalance moved after noise injection, and receivers use the exact
 #: injected noise variance instead of re-measuring the noisy output.
-ENGINE_VERSION = 3
+#: Version 4: burst RNG streams are keyed by the point's *content*
+#: (:meth:`SweepPoint.seed_payload`) instead of its grid index, so the same
+#: physical cell simulates identically in any grid — the property that lets
+#: overlapping sweeps share per-point records in the result store.
+ENGINE_VERSION = 4
 
 #: Channel models the engine knows how to build (see ``repro.sim.engine``).
 CHANNEL_MODELS = ("ideal", "flat_rayleigh", "frequency_selective")
@@ -287,9 +291,11 @@ class SweepSpec:
     def points(self) -> List["SweepPoint"]:
         """Expand the grid into its cells (SNR varies fastest).
 
-        The expansion order is part of the engine's contract: point indices
-        seed the per-point RNG streams, so reordering the axes would change
-        the simulated noise even for an identical grid.
+        Since engine version 4 the expansion order is presentation only:
+        each cell's RNG streams are keyed by its *content*
+        (:meth:`SweepPoint.seed_payload`), so reordering or subsetting the
+        axes leaves every cell's simulated physics — and its result-store
+        record — unchanged.
         """
         cells = itertools.product(
             self.modulations,
@@ -389,6 +395,67 @@ class SweepPoint:
         """
         return cls(**payload)
 
+    # ------------------------------------------------------------------
+    def seed_payload(self, spec: "SweepSpec") -> dict:
+        """The cell's *physics identity* — everything that shapes its RNG draws.
+
+        This payload seeds the point's burst streams
+        (:func:`repro.sim.engine.burst_seed`), so it contains exactly the
+        fields that change what payload, fading and noise get drawn — and
+        nothing else.  Deliberately absent:
+
+        * the grid ``index`` and the axis order — the same physical cell
+          must simulate identically in any grid, or overlapping sweeps
+          could not share per-point results;
+        * budget knobs (``n_bursts``, ``target_errors``) — a bigger budget
+          extends the same burst stream instead of re-rolling it, which is
+          what lets adaptive refinement append bursts to a stored point;
+        * ``detector`` and ``soft_decision`` — they change how the receiver
+          *processes* a burst, not which random burst is drawn, so ZF and
+          MMSE (or hard and soft decoding) are compared over identical
+          noise realisations.
+        """
+        return {
+            "base_seed": spec.base_seed,
+            "modulation": self.modulation,
+            "code_rate": self.code_rate,
+            "n_streams": self.n_streams,
+            "channel": self.channel,
+            "snr_db": self.snr_db,
+            "impairment": self.impairment.to_dict() if self.impairment else None,
+            "n_info_bits": spec.n_info_bits,
+            "fresh_fading_per_burst": spec.fresh_fading_per_burst,
+            "known_timing": spec.known_timing,
+            "fft_size": spec.fft_size,
+        }
+
+    def content_key(self, spec: "SweepSpec", extra_bursts: int = 0) -> str:
+        """Stable store key of the cell's result record.
+
+        Extends :meth:`seed_payload` with everything else that determines
+        the *reported statistics*: the receiver-side knobs (``detector``,
+        ``soft_decision``), the budget contract (``n_bursts``,
+        ``target_errors``), the engine version and the active DSP backend.
+        Two grids hashing a cell to the same key are guaranteed the same
+        folded counts, so the record is shared; ``extra_bursts`` keys the
+        refined records adaptive mode appends on top of the base budget.
+        """
+        from repro.dsp.backend import default_backend
+        from repro.sim.cache import content_key as _content_key
+
+        payload = {
+            "record": "sweep-point",
+            "engine_version": ENGINE_VERSION,
+            "dsp_backend": default_backend().name,
+            **self.seed_payload(spec),
+            "detector": self.detector,
+            "soft_decision": spec.soft_decision,
+            "n_bursts": spec.n_bursts,
+            "target_errors": spec.target_errors,
+            "extra_bursts": int(extra_bursts),
+        }
+        return _content_key(payload, prefix="pt-")
+
 
 @dataclass(frozen=True)
 class SweepPointResult:
@@ -417,6 +484,26 @@ class SweepPointResult:
         """Fraction of simulated bursts with at least one bit error."""
         return self.frame_errors / self.n_bursts if self.n_bursts else 0.0
 
+    def ber_interval(
+        self, confidence: float = 0.95, method: str = "wilson"
+    ) -> Tuple[float, float]:
+        """Confidence interval on the point's BER (see :mod:`repro.sim.stats`).
+
+        ``method`` is ``"wilson"`` (default) or ``"clopper-pearson"``.
+        Adaptive refinement allocates extra bursts where this interval is
+        widest.
+        """
+        from repro.sim.stats import ber_interval
+
+        return ber_interval(self.bit_errors, self.total_bits, confidence, method)
+
+    def ber_interval_width(
+        self, confidence: float = 0.95, method: str = "wilson"
+    ) -> float:
+        """Width of :meth:`ber_interval` — the refinement mode's priority."""
+        low, high = self.ber_interval(confidence, method)
+        return high - low
+
     def to_dict(self) -> dict:
         """Plain-JSON representation."""
         payload = asdict(self)
@@ -442,10 +529,11 @@ class SweepResult:
     points:
         One :class:`SweepPointResult` per grid cell, in grid order.
     elapsed_s:
-        Wall-clock time of the producing run (cached hits report the time
-        of the original simulation, not of the cache read).
+        Wall-clock time of *this* call — near zero when every point was
+        served from the result store.
     from_cache:
-        True when the result was served from the JSON cache.
+        True when every point was served from the result store without
+        simulating a burst.
     n_bursts_simulated:
         Bursts actually simulated by *this* call — 0 on a cache hit, and
         potentially far below ``spec.n_bursts * n_points`` when early

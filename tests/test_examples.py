@@ -46,6 +46,14 @@ def test_ber_waterfall_small_run():
 
 
 @pytest.mark.slow
+def test_resumable_sweep_small_run():
+    output = _run("resumable_sweep.py", "--bursts", "2", "--bits", "64")
+    assert "resume of the full grid" in output
+    assert "warm re-run: 0 bursts simulated [store" in output
+    assert "Wilson interval" in output
+
+
+@pytest.mark.slow
 def test_streaming_downlink_small_payload():
     output = _run("streaming_downlink.py", "--kilobytes", "1")
     assert "goodput" in output

@@ -1,5 +1,7 @@
 """Property-based tests (hypothesis) on the core data structures and invariants."""
 
+import string
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -159,6 +161,136 @@ class TestDspProperties:
             assert abs(quantised - value) <= fmt.resolution / 2 + 1e-12
         else:
             assert quantised in (fmt.min_value, fmt.max_value)
+
+
+class TestResultStoreProperties:
+    store_keys = st.text(
+        alphabet=string.ascii_lowercase + string.digits + "-_", min_size=1, max_size=40
+    )
+    payloads = st.dictionaries(
+        st.text(string.ascii_lowercase, min_size=1, max_size=8),
+        st.one_of(st.integers(-(2**40), 2**40), st.floats(allow_nan=False), st.text(max_size=16), st.booleans(), st.none()),
+        max_size=5,
+    )
+
+    @settings(deadline=None, max_examples=30)
+    @given(records=st.dictionaries(store_keys, payloads, min_size=1, max_size=20))
+    def test_store_roundtrips_arbitrary_records(self, tmp_path_factory, records):
+        from repro.sim.store import ResultStore
+
+        store = ResultStore(tmp_path_factory.mktemp("store"))
+        for key, payload in records.items():
+            store.put(key, payload)
+        assert store.keys() == set(records)
+        for key, payload in records.items():
+            assert store.get(key) == payload
+        assert store.get_many(records) == records
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        records=st.dictionaries(store_keys, payloads, min_size=1, max_size=10),
+        rnd=st.randoms(use_true_random=False),
+    )
+    def test_last_record_wins_in_any_put_order(self, tmp_path_factory, records, rnd):
+        from repro.sim.store import ResultStore
+
+        store = ResultStore(tmp_path_factory.mktemp("store"))
+        # Interleave stale puts with the final ones; only the final value
+        # per key may survive, regardless of append order.
+        puts = [(key, {"stale": True}) for key in records]
+        puts += [(key, payload) for key, payload in records.items()]
+        rnd.shuffle(puts)
+        final = {}
+        for key, payload in puts:
+            store.put(key, payload)
+            final[key] = payload
+        for key, payload in final.items():
+            assert store.get(key) == payload
+
+
+class TestPointKeyProperties:
+    spec_kwargs = st.fixed_dictionaries(
+        {
+            "snr_db": st.lists(
+                st.sampled_from([0.0, 5.0, 10.0, 15.0, 20.0, 30.0]),
+                min_size=1,
+                max_size=4,
+                unique=True,
+            ),
+            "modulations": st.lists(
+                st.sampled_from(["bpsk", "qpsk", "16qam", "64qam"]),
+                min_size=1,
+                max_size=3,
+                unique=True,
+            ),
+            "detectors": st.lists(
+                st.sampled_from(["zf", "mmse"]), min_size=1, max_size=2, unique=True
+            ),
+            "base_seed": st.integers(0, 2**16),
+            "n_bursts": st.integers(1, 64),
+        }
+    )
+
+    @settings(deadline=None, max_examples=50)
+    @given(spec_kwargs)
+    def test_point_keys_are_unique_within_a_grid(self, kwargs):
+        # Every grid cell — including cells differing only in detector,
+        # which share a seed payload — must get a distinct store key.
+        from repro.sim import SweepSpec
+
+        spec = SweepSpec(**kwargs)
+        keys = [point.content_key(spec) for point in spec.points()]
+        assert len(set(keys)) == len(keys) == spec.n_points
+
+    @settings(deadline=None, max_examples=50)
+    @given(spec_kwargs)
+    def test_point_keys_invariant_under_axis_reordering(self, kwargs):
+        # Reversing every axis permutes the grid but must hash each cell
+        # to the same key: keys are content, not position.
+        from repro.sim import SweepSpec
+
+        spec = SweepSpec(**kwargs)
+        reordered = spec.subset(
+            snr_db=tuple(reversed(spec.snr_db)),
+            modulations=tuple(reversed(spec.modulations)),
+            detectors=tuple(reversed(spec.detectors)),
+        )
+        forward = {point.content_key(spec) for point in spec.points()}
+        backward = {point.content_key(reordered) for point in reordered.points()}
+        assert forward == backward
+
+    @settings(deadline=None, max_examples=50)
+    @given(
+        st.lists(st.sampled_from([0.0, 4.0, 8.0, 12.0, 16.0, 20.0]), min_size=1, max_size=5, unique=True),
+        st.lists(st.sampled_from([0.0, 4.0, 8.0, 12.0, 16.0, 20.0]), min_size=1, max_size=5, unique=True),
+        st.integers(0, 2**16),
+    )
+    def test_overlapping_grids_share_exactly_the_intersection(
+        self, snrs_a, snrs_b, base_seed
+    ):
+        # Two grids differing only in their SNR axis share a store record
+        # exactly for the SNRs they have in common.
+        from repro.sim import SweepSpec
+
+        spec_a = SweepSpec(snr_db=tuple(snrs_a), base_seed=base_seed)
+        spec_b = SweepSpec(snr_db=tuple(snrs_b), base_seed=base_seed)
+        keys_a = {p.snr_db: p.content_key(spec_a) for p in spec_a.points()}
+        keys_b = {p.snr_db: p.content_key(spec_b) for p in spec_b.points()}
+        shared = set(keys_a.values()) & set(keys_b.values())
+        expected = {keys_a[snr] for snr in set(snrs_a) & set(snrs_b)}
+        assert shared == expected
+
+    @settings(deadline=None, max_examples=50)
+    @given(spec_kwargs, st.integers(1, 100))
+    def test_extra_bursts_key_is_distinct_and_deterministic(self, kwargs, extra):
+        from repro.sim import SweepSpec
+
+        spec = SweepSpec(**kwargs)
+        point = spec.points()[0]
+        base = point.content_key(spec)
+        refined = point.content_key(spec, extra_bursts=extra)
+        assert refined != base
+        assert refined == point.content_key(spec, extra_bursts=extra)
 
 
 class TestQrProperties:

@@ -1,0 +1,168 @@
+"""Tests for repro.sim.store: sharded per-point records, atomic commits."""
+
+import json
+import os
+
+import pytest
+
+from repro.sim.cache import default_cache_dir
+from repro.sim.store import (
+    ResultStore,
+    commit_json_file,
+    default_store_dir,
+)
+
+
+class TestLayout:
+    def test_default_dir_nests_inside_cache_dir(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SIM_CACHE_DIR", str(tmp_path))
+        assert default_store_dir() == default_cache_dir() / "points"
+        assert ResultStore().directory == tmp_path / "points"
+
+    def test_keys_shard_by_hash_not_by_prefix(self, tmp_path):
+        # Every sweep-point key starts with "pt-"; sharding on the raw key
+        # string would pile all of them into one file.
+        store = ResultStore(tmp_path)
+        shards = {store.shard_path(f"pt-{i:020d}").name for i in range(200)}
+        assert len(shards) > 50
+
+    def test_same_key_same_shard(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.shard_path("pt-abc") == store.shard_path("pt-abc")
+        assert store.shard_path("pt-abc").suffix == ".jsonl"
+
+
+class TestRoundTrip:
+    def test_get_put_contains_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get("missing") is None
+        assert "missing" not in store
+        store.put("a", {"value": 1})
+        store.put("b", {"value": 2})
+        assert store.get("a") == {"value": 1}
+        assert "b" in store
+        assert store.keys() == {"a", "b"}
+        assert len(store) == 2
+
+    def test_re_put_appends_and_last_record_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"value": 1})
+        store.put("k", {"value": 2})
+        assert store.get("k") == {"value": 2}
+        assert len(store) == 1  # one distinct key, two appended records
+        lines = store.shard_path("k").read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_get_many_reads_each_shard_once(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        keys = [f"key-{i}" for i in range(40)]
+        for key in keys:
+            store.put(key, {"i": key})
+        reads = []
+        original = ResultStore._iter_shard
+
+        def counting(path):
+            reads.append(path)
+            return original(path)
+
+        monkeypatch.setattr(ResultStore, "_iter_shard", staticmethod(counting))
+        found = store.get_many(keys + ["absent"])
+        assert set(found) == set(keys)
+        distinct_shards = {store.shard_path(k) for k in keys + ["absent"]}
+        assert len(reads) == len(distinct_shards)
+
+    def test_clear_counts_and_removes(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("a", {})
+        store.put("b", {})
+        assert store.clear() == 2
+        assert store.get("a") is None
+        assert list(tmp_path.glob("*.jsonl")) == []
+        assert store.clear() == 0
+
+
+class TestCorruptionTolerance:
+    def test_torn_last_line_is_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", {"value": 1})
+        shard = store.shard_path("k")
+        with shard.open("a") as handle:
+            handle.write('{"key": "torn", "payl')  # writer died mid-record
+        assert store.get("k") == {"value": 1}
+        assert store.get("torn") is None
+
+    def test_put_repairs_a_torn_tail_before_appending(self, tmp_path):
+        # Without the newline repair the fresh record would concatenate
+        # with the torn tail and both would be lost.
+        store = ResultStore(tmp_path)
+        shard = store.shard_path("k")
+        shard.parent.mkdir(parents=True, exist_ok=True)
+        shard.write_text('{"key": "dead", "payl')
+        # k must hash into the same shard as the torn tail for this test;
+        # write the record through the public API and check it survives.
+        store.put("k", {"value": 9})
+        assert store.get("k") == {"value": 9}
+        lines = shard.read_text().splitlines()
+        assert len(lines) == 2  # torn tail isolated on its own line
+
+    def test_foreign_and_malformed_lines_are_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good", {"value": 1})
+        shard = store.shard_path("good")
+        with shard.open("a") as handle:
+            handle.write("[1, 2, 3]\n")  # valid JSON, wrong shape
+            handle.write('{"key": 7, "payload": {}}\n')  # non-string key
+            handle.write('{"key": "x", "payload": []}\n')  # non-dict payload
+            handle.write("\n")
+        assert store.get("good") == {"value": 1}
+        assert store.keys() == {"good"}
+
+    def test_missing_directory_reads_as_empty(self, tmp_path):
+        store = ResultStore(tmp_path / "never-created")
+        assert store.get("k") is None
+        assert store.get_many(["a", "b"]) == {}
+        assert store.keys() == set()
+        assert len(store) == 0
+
+
+class TestCommitJsonFile:
+    def test_writes_and_replaces(self, tmp_path):
+        path = tmp_path / "entry.json"
+        commit_json_file(path, {"value": 1})
+        assert json.loads(path.read_text()) == {"value": 1}
+        commit_json_file(path, {"value": 2})
+        assert json.loads(path.read_text()) == {"value": 2}
+
+    def test_interrupted_commit_preserves_the_old_file(self, tmp_path, monkeypatch):
+        # The torn-write guarantee: dying between the temp write and the
+        # rename leaves the previous contents fully intact — and no temp
+        # file behind.
+        path = tmp_path / "entry.json"
+        commit_json_file(path, {"value": "old"})
+
+        def boom(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.sim.store.os.replace", boom)
+        with pytest.raises(KeyboardInterrupt):
+            commit_json_file(path, {"value": "new"})
+        monkeypatch.undo()
+        assert json.loads(path.read_text()) == {"value": "old"}
+        assert list(tmp_path.glob(".*.tmp")) == []
+
+    def test_fsyncs_temp_before_replace(self, tmp_path, monkeypatch):
+        # Ordering is the crux of the crash guarantee: the rename must only
+        # be issued once the temp file's bytes are durable.
+        events = []
+        real_fsync, real_replace = os.fsync, os.replace
+        monkeypatch.setattr(
+            "repro.sim.store.os.fsync",
+            lambda fd: (events.append("fsync"), real_fsync(fd))[1],
+        )
+        monkeypatch.setattr(
+            "repro.sim.store.os.replace",
+            lambda s, d: (events.append("replace"), real_replace(s, d))[1],
+        )
+        commit_json_file(tmp_path / "entry.json", {"value": 1})
+        assert "fsync" in events and "replace" in events
+        assert events.index("fsync") < events.index("replace")

@@ -208,11 +208,31 @@ class TestEngine:
 
     def test_burst_seed_is_deterministic(self):
         spec = small_spec()
-        a = engine.burst_seed(spec, 1, 2).generate_state(4)
-        b = engine.burst_seed(spec, 1, 2).generate_state(4)
-        c = engine.burst_seed(spec, 1, 3).generate_state(4)
+        low, high = spec.points()
+        a = engine.burst_seed(spec, high, 2).generate_state(4)
+        b = engine.burst_seed(spec, high, 2).generate_state(4)
+        c = engine.burst_seed(spec, high, 3).generate_state(4)
+        d = engine.burst_seed(spec, low, 2).generate_state(4)
         assert np.array_equal(a, b)
         assert not np.array_equal(a, c)
+        assert not np.array_equal(a, d)
+
+    def test_burst_seed_is_content_keyed_not_index_keyed(self):
+        # The same physical cell must draw the same bursts in any grid —
+        # the property cross-sweep sharing in the result store rests on.
+        spec = small_spec()
+        high = spec.points()[1]
+        solo_spec = spec.subset(snr_db=(30.0,))
+        solo = solo_spec.points()[0]
+        assert solo.index != high.index or solo.index == 0
+        a = engine.burst_seed(spec, high, 5).generate_state(4)
+        b = engine.burst_seed(solo_spec, solo, 5).generate_state(4)
+        assert np.array_equal(a, b)
+        # Budget knobs do not reroll the stream: a bigger budget extends it.
+        c = engine.burst_seed(
+            spec.subset(n_bursts=50, target_errors=None), high, 5
+        ).generate_state(4)
+        assert np.array_equal(a, c)
 
     def test_every_channel_model_builds(self):
         spec = small_spec()
@@ -448,6 +468,41 @@ class TestJsonCache:
         cache.put("b", {})
         assert cache.clear() == 2
         assert cache.get("a") is None
+
+    def test_put_routes_through_the_atomic_store_commit(self, tmp_path, monkeypatch):
+        # Regression (torn-write risk): put() used to json.dump straight
+        # into the temp file and rename without fsync, so a crash after the
+        # rename was issued but before the data hit disk could leave a torn
+        # destination.  The shim now delegates to commit_json_file, whose
+        # fsync-before-replace ordering closes that window.
+        import repro.sim.store as store_module
+
+        calls = []
+        original = store_module.commit_json_file
+        monkeypatch.setattr(
+            "repro.sim.store.commit_json_file",
+            lambda path, payload: calls.append(path) or original(path, payload),
+        )
+        cache = JsonCache(tmp_path)
+        cache.put("key", {"value": 1})
+        assert calls == [cache.path_for("key")]
+        assert cache.get("key") == {"value": 1}
+
+    def test_failed_put_preserves_the_previous_entry(self, tmp_path, monkeypatch):
+        # The other half of the torn-write guarantee: dying mid-put must
+        # leave the previous value fully readable, never a partial file.
+        cache = JsonCache(tmp_path)
+        cache.put("key", {"value": "old"})
+
+        def boom(src, dst):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr("repro.sim.store.os.replace", boom)
+        with pytest.raises(KeyboardInterrupt):
+            cache.put("key", {"value": "new"})
+        monkeypatch.undo()
+        assert cache.get("key") == {"value": "old"}
+        assert list(tmp_path.glob(".*.tmp")) == []
 
     def test_interrupted_put_leaves_no_entry_and_clear_removes_temp(self, tmp_path, monkeypatch):
         # Regression: clear() only globbed *.json, stranding the

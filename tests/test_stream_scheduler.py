@@ -72,7 +72,7 @@ class TestLatencySummary:
 class TestSeeding:
     def test_stream_seeds_disjoint_from_sweep_seeds(self):
         spec = SweepSpec(base_seed=11)
-        sweep = burst_seed(spec, 0, 1).generate_state(4)
+        sweep = burst_seed(spec, spec.points()[0], 1).generate_state(4)
         stream = stream_frame_seed(11, 0, 1).generate_state(4)
         assert not np.array_equal(sweep, stream)
 

@@ -35,6 +35,8 @@ REQUIRED_DOCS = (
 REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
     "docs/simulation.md": (
         "The batched transmit path and the DSP backend seam",
+        "The per-point result store",
+        "Adaptive refinement and confidence intervals",
     ),
     "docs/streaming.md": (
         "Air-interface cost",
