@@ -1,7 +1,10 @@
 # Development entry points for the repro package.
 #
-#   make test              - tier-1 test suite (tests/ + benchmarks/, fail fast)
+#   make test              - tier-1 test suite (lint gate, then tests/ +
+#                            benchmarks/, fail fast)
 #   make test-fast         - unit tests only (skips the benchmark harness)
+#   make lint              - repro_lint invariant gate over src/ tools/
+#                            examples/ (+ a minimal ruff pass when installed)
 #   make test-store        - result-store tier: store/queue semantics, crash/
 #                            resume, concurrency, adaptive refinement, sharing gates
 #   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
@@ -18,11 +21,22 @@
 
 PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+LINTPATH_PREFIX := PYTHONPATH=src:tools/lint$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-store bench-smoke bench-impairments bench-rx bench-link bench-store bench-stream docs-check clean-cache
+.PHONY: test test-fast test-store lint bench-smoke bench-impairments bench-rx bench-link bench-store bench-stream docs-check clean-cache
 
-test:
+test: lint
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
+
+lint:
+	$(LINTPATH_PREFIX) $(PYTHON) -m repro_lint src tools examples
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tools examples; \
+	elif command -v ruff >/dev/null 2>&1; then \
+		ruff check src tools examples; \
+	else \
+		echo "lint: ruff not installed; skipping style pass (repro_lint gate already ran)"; \
+	fi
 
 test-fast:
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest tests -q

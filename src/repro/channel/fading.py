@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.dsp.fft import get_plan
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -142,10 +143,13 @@ class FrequencySelectiveChannel:
         """Exact channel matrix per subcarrier, shape ``(fft_size, n_rx, n_tx)``.
 
         Useful as the ground truth the receiver's estimate is compared with.
+        Routed through the shared :class:`~repro.dsp.fft.FftPlan` tables —
+        the same transform the burst datapaths run — so ``fft_size`` must be
+        a power of two, like everywhere else in the chain.
         """
         if fft_size < self.n_taps:
             raise ValueError("fft_size must be at least the number of taps")
         padded = np.zeros((self.n_rx, self.n_tx, fft_size), dtype=np.complex128)
         padded[:, :, : self.n_taps] = self.taps
-        response = np.fft.fft(padded, axis=2)
+        response = get_plan(fft_size).forward(padded)
         return np.transpose(response, (2, 0, 1))

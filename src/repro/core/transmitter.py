@@ -283,7 +283,7 @@ class MimoTransmitter:
         self, n_info_bits: int, rng: Optional[np.random.Generator] = None
     ) -> TransmitBurst:
         """Convenience: transmit ``n_info_bits`` random bits on every stream."""
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = rng if rng is not None else np.random.default_rng()  # reprolint: disable=DET001 -- opt-in convenience for interactive use; every engine path injects a seeded generator
         streams = [
             generator.integers(0, 2, size=n_info_bits, dtype=np.uint8)
             for _ in range(self.config.n_streams)

@@ -49,5 +49,5 @@ def matrix_inverse_via_qr(matrix: np.ndarray) -> np.ndarray:
     h = np.asarray(matrix, dtype=np.complex128)
     if h.ndim != 2 or h.shape[0] != h.shape[1]:
         raise ValueError("expected a square matrix")
-    q, r = np.linalg.qr(h)
-    return np.linalg.solve(r, hermitian(q))
+    q, r = np.linalg.qr(h)  # reprolint: disable=EXC002 -- offline float reference for ablation benchmarks; never pooled by the sweep engine
+    return np.linalg.solve(r, hermitian(q))  # reprolint: disable=EXC002 -- same: callers are benchmarks/tests that want the raw LinAlgError

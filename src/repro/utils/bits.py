@@ -39,7 +39,7 @@ def random_bits(n: int, rng: np.random.Generator | None = None) -> BitArray:
     """
     if n < 0:
         raise ValueError(f"cannot generate a negative number of bits: {n}")
-    generator = rng if rng is not None else np.random.default_rng()
+    generator = rng if rng is not None else np.random.default_rng()  # reprolint: disable=DET001 -- documented opt-in: omitting rng is the caller asking for non-determinism; engine paths always pass one
     return generator.integers(0, 2, size=n, dtype=np.uint8)
 
 

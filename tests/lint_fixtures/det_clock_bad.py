@@ -1,0 +1,10 @@
+"""Fixture: wall-clock reads feeding engine state."""
+
+import time
+from datetime import datetime
+
+
+def stamp_record(record):
+    record["created_at"] = time.time()
+    record["day"] = datetime.now().isoformat()
+    return record

@@ -1,0 +1,9 @@
+"""Fixture: monotonic timers for elapsed-time reporting (legal)."""
+
+import time
+
+
+def timed(work):
+    start = time.perf_counter()
+    result = work()
+    return result, time.perf_counter() - start

@@ -1,0 +1,13 @@
+"""Fixture: global-state and unseeded randomness in engine code."""
+
+import random
+
+import numpy as np
+
+
+def noisy(samples):
+    np.random.seed(1234)
+    noise = np.random.normal(size=samples.shape)
+    jitter = random.random()
+    fallback = np.random.default_rng()
+    return samples + noise * jitter + fallback.normal()

@@ -1,0 +1,13 @@
+"""Fixture: explicitly seeded randomness (the legal forms)."""
+
+import numpy as np
+
+
+def noisy(samples, seed):
+    root = np.random.SeedSequence([seed, 7])
+    rng = np.random.default_rng(root)
+    return samples + rng.normal(size=samples.shape)
+
+
+def typed(rng: np.random.Generator) -> np.random.Generator:
+    return rng

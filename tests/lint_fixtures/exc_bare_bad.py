@@ -1,0 +1,15 @@
+"""Fixture: swallowed exceptions."""
+
+
+def swallow_everything(work):
+    try:
+        return work()
+    except:
+        return None
+
+
+def swallow_silently(work):
+    try:
+        return work()
+    except Exception:
+        pass

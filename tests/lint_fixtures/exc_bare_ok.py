@@ -1,0 +1,20 @@
+"""Fixture: disciplined exception handling (named, translated, logged)."""
+
+
+class DecodingError(RuntimeError):
+    pass
+
+
+def translate(work):
+    try:
+        return work()
+    except ValueError as error:
+        raise DecodingError("burst undecodable") from error
+
+
+def tolerate(work, failures):
+    try:
+        return work()
+    except Exception as error:
+        failures.append(error)
+        raise

@@ -1,0 +1,14 @@
+"""Fixture: linalg failures translated to the pooled-sweep loss path."""
+
+import numpy as np
+
+
+class DecodingError(RuntimeError):
+    pass
+
+
+def mmse_weights(gram, h):
+    try:
+        return np.linalg.solve(gram, h)
+    except np.linalg.LinAlgError as error:
+        raise DecodingError("singular Gram matrix") from error

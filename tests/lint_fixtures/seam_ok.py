@@ -1,0 +1,16 @@
+"""Fixture: the same transforms routed through the repro.dsp seam."""
+
+import numpy as np
+
+from repro.dsp.backend import get_backend
+from repro.dsp.fft import get_plan
+
+
+def spectrum(taps, fft_size):
+    padded = np.zeros(fft_size, dtype=np.complex128)
+    padded[: len(taps)] = taps
+    return get_plan(fft_size).forward(padded)
+
+
+def waveform(symbols):
+    return get_backend().ifft(symbols)

@@ -1,0 +1,7 @@
+"""Fixture: a justified suppression silences its finding cleanly."""
+
+import numpy as np
+
+
+def ground_truth(taps, fft_size):
+    return np.fft.fft(taps, fft_size)  # reprolint: disable=SEAM001 -- pocketfft ground truth an agreement test compares the seam against

@@ -1,0 +1,7 @@
+"""Fixture: a suppression without a written justification (LINT001)."""
+
+import numpy as np
+
+
+def ground_truth(taps, fft_size):
+    return np.fft.fft(taps, fft_size)  # reprolint: disable=SEAM001

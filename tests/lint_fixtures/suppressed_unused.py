@@ -1,0 +1,5 @@
+"""Fixture: a suppression that silences nothing (LINT002)."""
+
+
+def harmless(x):
+    return x + 1  # reprolint: disable=SEAM001 -- left behind after a refactor

@@ -1,0 +1,197 @@
+"""Runtime twin of the KEY001 lint rule, independent of the linter.
+
+Enumerates ``dataclasses.fields`` of :class:`SweepSpec`,
+:class:`ImpairmentSpec` and :class:`SweepPoint` directly and asserts the
+caching contracts hold at runtime: every field round-trips through
+``to_dict``/``from_dict``, every field perturbs the serialization it is
+supposed to reach (``spec_hash``, ``seed_payload``, ``content_key``), and
+the deliberately-absent fields stay absent.  If the linter ever regresses
+or is bypassed, this suite still refuses a spec field that could silently
+alias cached points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.dsp.fixedpoint import SAMPLE_FORMAT_16BIT
+from repro.sim.spec import ImpairmentSpec, SweepPoint, SweepSpec
+
+#: SweepPoint fields contractually absent from the physics identity.
+POINT_SEED_EXEMPT = {"index", "detector"}
+
+#: SweepSpec fields contractually absent from the physics identity:
+#: budget/receiver knobs plus the axis tuples (their values reach the
+#: payload through the expanded point).
+SPEC_AXIS_FIELDS = {
+    "snr_db",
+    "modulations",
+    "code_rates",
+    "stream_counts",
+    "channels",
+    "detectors",
+    "impairments",
+}
+SPEC_SEED_EXEMPT = SPEC_AXIS_FIELDS | {"n_bursts", "target_errors", "soft_decision"}
+
+
+def perturb(name: str, value):
+    """A valid, different value for one dataclass field."""
+    if name == "impairments":
+        return tuple(value) + (ImpairmentSpec(sample_delay=3),)
+    if name == "impairment":
+        return ImpairmentSpec(sample_delay=3)
+    if name in {"tx_format", "rx_format", "rx_multiplier_format"}:
+        return SAMPLE_FORMAT_16BIT if value is None else None
+    if isinstance(value, tuple):
+        return tuple(value) + (value[0],)
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        alternates = {
+            "modulation": "qpsk",
+            "code_rate": "3/4",
+            "channel": "ideal",
+            "detector": "mmse",
+        }
+        replacement = alternates.get(name, value + "x")
+        return replacement if replacement != value else "bpsk"
+    if value is None:
+        return 1
+    raise TypeError(f"no perturbation for {name}={value!r}")
+
+
+def variants(cls, base):
+    """(field_name, perturbed_instance) for every dataclass field."""
+    for f in dataclasses.fields(cls):
+        yield f.name, dataclasses.replace(
+            base, **{f.name: perturb(f.name, getattr(base, f.name))}
+        )
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize(
+        "cls, instance",
+        [
+            (SweepSpec, SweepSpec()),
+            (ImpairmentSpec, ImpairmentSpec()),
+            (ImpairmentSpec, ImpairmentSpec.paper_frontend(cfo_normalized=1e-4)),
+        ],
+        ids=["spec", "impairment-default", "impairment-paper"],
+    )
+    def test_to_dict_covers_every_field_and_round_trips(self, cls, instance):
+        payload = instance.to_dict()
+        assert set(payload) == {f.name for f in dataclasses.fields(cls)}
+        assert cls.from_dict(payload) == instance
+
+    def test_point_to_dict_covers_every_field_and_round_trips(self):
+        point = SweepSpec(impairments=(ImpairmentSpec(sample_delay=2),)).points()[0]
+        payload = point.to_dict()
+        assert set(payload) == {f.name for f in dataclasses.fields(SweepPoint)}
+        assert SweepPoint.from_dict(payload) == point
+
+
+class TestSpecHashCompleteness:
+    def test_every_spec_field_perturbs_spec_hash(self):
+        spec = SweepSpec()
+        baseline = spec.spec_hash()
+        for name, variant in variants(SweepSpec, spec):
+            assert variant.spec_hash() != baseline, (
+                f"SweepSpec.{name} does not reach spec_hash(); two different "
+                "sweeps would alias one cache entry"
+            )
+
+
+class TestSeedPayloadContract:
+    def test_physics_fields_perturb_seed_payload(self):
+        spec = SweepSpec()
+        point = spec.points()[0]
+        baseline = point.seed_payload(spec)
+        for name, variant in variants(SweepPoint, point):
+            changed = variant.seed_payload(spec) != baseline
+            if name in POINT_SEED_EXEMPT:
+                assert not changed, (
+                    f"SweepPoint.{name} must stay out of seed_payload(): it "
+                    "is contractually absent so grids share stored points"
+                )
+            else:
+                assert changed, (
+                    f"SweepPoint.{name} missing from seed_payload(); two "
+                    "different cells would draw identical bursts"
+                )
+
+    def test_spec_fields_follow_the_budget_extension_contract(self):
+        spec = SweepSpec()
+        point = spec.points()[0]
+        baseline = point.seed_payload(spec)
+        for name, variant in variants(SweepSpec, spec):
+            if name in SPEC_AXIS_FIELDS:
+                continue  # axis values flow through the expanded point
+            changed = point.seed_payload(variant) != baseline
+            if name in SPEC_SEED_EXEMPT:
+                assert not changed, (
+                    f"SweepSpec.{name} must not re-roll burst streams: "
+                    "bigger budgets extend the same stream"
+                )
+            else:
+                assert changed, (
+                    f"SweepSpec.{name} missing from seed_payload(); bursts "
+                    "would repeat across different physics"
+                )
+
+
+class TestContentKeyCompleteness:
+    def test_every_point_field_but_index_perturbs_content_key(self):
+        spec = SweepSpec()
+        point = spec.points()[0]
+        baseline = point.content_key(spec)
+        for name, variant in variants(SweepPoint, point):
+            changed = variant.content_key(spec) != baseline
+            if name == "index":
+                assert not changed, (
+                    "SweepPoint.index must stay out of content_key(): store "
+                    "records are grid-shape independent"
+                )
+            else:
+                assert changed, (
+                    f"SweepPoint.{name} missing from content_key(); two "
+                    "different cells would share one store record"
+                )
+
+    def test_every_scalar_spec_field_perturbs_content_key(self):
+        spec = SweepSpec()
+        point = spec.points()[0]
+        baseline = point.content_key(spec)
+        for name, variant in variants(SweepSpec, spec):
+            if name in SPEC_AXIS_FIELDS:
+                continue
+            assert point.content_key(variant) != baseline, (
+                f"SweepSpec.{name} missing from content_key(); records for "
+                "different budgets/physics would alias in the store"
+            )
+
+    def test_every_impairment_field_perturbs_content_key(self):
+        spec = SweepSpec()
+        base_point = dataclasses.replace(
+            spec.points()[0], impairment=ImpairmentSpec()
+        )
+        baseline = base_point.content_key(spec)
+        for name, variant in variants(ImpairmentSpec, ImpairmentSpec()):
+            perturbed = dataclasses.replace(base_point, impairment=variant)
+            assert perturbed.content_key(spec) != baseline, (
+                f"ImpairmentSpec.{name} missing from content_key(); two "
+                "front-end conditions would share one store record"
+            )
+
+    def test_extra_bursts_key_refined_records_separately(self):
+        spec = SweepSpec()
+        point = spec.points()[0]
+        assert point.content_key(spec, extra_bursts=0) != point.content_key(
+            spec, extra_bursts=50
+        )

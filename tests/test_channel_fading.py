@@ -96,6 +96,33 @@ class TestFrequencySelectiveChannel:
         manual = np.fft.fft(channel.taps[1, 0], 64)
         np.testing.assert_allclose(response[:, 1, 0], manual)
 
+    def test_frequency_response_bit_identical_through_dsp_seam(self):
+        """The response routes through the shared FftPlan (SEAM001 fix).
+
+        Pins bit-identical agreement between ``frequency_response`` and the
+        planned transform it now delegates to, and checks the result against
+        the naive DFT definition.  The response is ground-truth diagnostics
+        (only attached when a caller asks for it; never consumed by the
+        decision datapath), so the last-bit difference vs the old
+        ``np.fft.fft`` path changes no engine statistic and needs no
+        ``ENGINE_VERSION`` bump.
+        """
+        from repro.dsp.fft import get_plan
+
+        channel = FrequencySelectiveChannel(n_rx=2, n_tx=3, n_taps=4, rng=11)
+        response = channel.frequency_response(64)
+
+        padded = np.zeros((2, 3, 64), dtype=np.complex128)
+        padded[:, :, :4] = channel.taps
+        seam = np.transpose(get_plan(64).forward(padded), (2, 0, 1))
+        assert np.array_equal(response, seam)
+
+        subcarriers = np.arange(64)
+        taps = np.arange(4)
+        dft = np.exp(-2j * np.pi * np.outer(subcarriers, taps) / 64)
+        manual = np.einsum("kt,rst->krs", dft, channel.taps)
+        np.testing.assert_allclose(response, manual, atol=1e-12)
+
     def test_single_tap_reduces_to_flat(self):
         channel = FrequencySelectiveChannel(n_rx=4, n_tx=4, n_taps=1, rng=5)
         response = channel.frequency_response(64)

@@ -1,0 +1,293 @@
+"""Tests for ``repro_lint`` — every shipped rule proven to fire and to stay
+quiet, suppression handling, the engine-version drift gate, and the
+tree-is-clean integration gate that makes ``make lint`` part of tier-1."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "tools" / "lint"))
+
+from repro_lint import lint_project, lint_source  # noqa: E402
+from repro_lint.core import parse_suppressions  # noqa: E402
+from repro_lint.rules.cache_keys import (  # noqa: E402
+    insensitive_fields,
+    run_checks,
+    sensitive_fields,
+)
+from repro_lint.rules.engine_version import (  # noqa: E402
+    build_manifest,
+    check_manifest,
+    current_digests,
+    load_manifest,
+    module_digest,
+)
+
+FIXTURES = REPO_ROOT / "tests" / "lint_fixtures"
+
+
+def lint_fixture(name: str, virtual_path: str):
+    """Lint one fixture file under a virtual in-tree path."""
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    return lint_source(source, virtual_path)
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: one violating + one clean file per rule, plus the
+# suppression cases.
+# ----------------------------------------------------------------------
+
+FIXTURE_CASES = [
+    # (fixture, virtual path, expected rule -> count)
+    ("seam_bad.py", "src/repro/channel/fixture.py", {"SEAM001": 2}),
+    ("seam_bad.py", "src/repro/dsp/fixture.py", {}),  # the seam itself is exempt
+    ("seam_ok.py", "src/repro/channel/fixture.py", {}),
+    ("det_rng_bad.py", "src/repro/sim/fixture.py", {"DET001": 4}),
+    ("det_rng_bad.py", "examples/fixture.py", {}),  # engine-scoped rule
+    ("det_rng_ok.py", "src/repro/sim/fixture.py", {}),
+    ("det_clock_bad.py", "src/repro/sim/fixture.py", {"DET002": 2}),
+    ("det_clock_ok.py", "src/repro/sim/fixture.py", {}),
+    ("exc_bare_bad.py", "examples/fixture.py", {"EXC001": 2}),
+    ("exc_bare_bad.py", "src/repro/stream/fixture.py", {"EXC001": 2}),
+    ("exc_bare_ok.py", "examples/fixture.py", {}),
+    ("exc_linalg_bad.py", "src/repro/mimo/fixture.py", {"EXC002": 3}),
+    ("exc_linalg_ok.py", "src/repro/mimo/fixture.py", {}),
+    ("suppressed_ok.py", "src/repro/channel/fixture.py", {}),
+    ("suppressed_unjustified.py", "src/repro/channel/fixture.py", {"LINT001": 1}),
+    ("suppressed_unused.py", "src/repro/channel/fixture.py", {"LINT002": 1}),
+]
+
+
+@pytest.mark.parametrize(
+    "fixture, virtual_path, expected",
+    FIXTURE_CASES,
+    ids=[f"{name}@{path.split('/')[-2]}-{i}" for i, (name, path, _) in enumerate(FIXTURE_CASES)],
+)
+def test_fixture_findings(fixture, virtual_path, expected):
+    violations = lint_fixture(fixture, virtual_path)
+    counts: dict = {}
+    for violation in violations:
+        counts[violation.rule] = counts.get(violation.rule, 0) + 1
+    assert counts == expected, [v.format() for v in violations]
+
+
+def test_violations_carry_location_and_message():
+    violations = lint_fixture("seam_bad.py", "src/repro/channel/fixture.py")
+    assert all(v.line > 0 and v.col > 0 for v in violations)
+    assert any("numpy.fft.fft" in v.message for v in violations)
+    assert any("numpy.fft.ifft" in v.message for v in violations)
+
+
+# ----------------------------------------------------------------------
+# Suppression parsing
+# ----------------------------------------------------------------------
+
+def test_suppression_parsing_reads_ids_and_justification():
+    source = "x = 1  # reprolint: disable=SEAM001,DET001 -- because reasons\n"
+    (suppression,) = parse_suppressions(source)
+    assert suppression.line == 1
+    assert suppression.rule_ids == ("SEAM001", "DET001")
+    assert suppression.justification == "because reasons"
+
+
+def test_suppression_marker_inside_string_is_not_a_suppression():
+    source = 's = "# reprolint: disable=SEAM001 -- not a comment"\n'
+    assert parse_suppressions(source) == []
+
+
+def test_parse_error_reported_as_parse001():
+    violations = lint_source("def broken(:\n", "src/repro/sim/fixture.py")
+    assert [v.rule for v in violations] == ["PARSE001"]
+
+
+def test_suppression_for_unselected_rule_is_not_flagged_useless():
+    """A rule-subset run must not call other rules' suppressions useless.
+
+    With ``--select VER001`` the DET001 suppressions in the tree never get
+    a chance to fire; flagging them LINT002 would make every subset run
+    red.  Only a suppression whose *executed* rules all stayed silent is
+    a dead comment.
+    """
+    from repro_lint.rules.seam import SeamPurityRule
+
+    source = (
+        "import numpy as np\n"
+        "x = np.random.normal()"
+        "  # reprolint: disable=DET001 -- fixture justification\n"
+    )
+    relpath = "src/repro/sim/fixture.py"
+    # DET001 not in the selected rule set: suppression silently ignored.
+    only_seam = lint_source(source, relpath, rules=[SeamPurityRule()])
+    assert only_seam == []
+    # Full rule set: the suppression is used, so nothing is reported.
+    assert lint_source(source, relpath) == []
+    # A genuinely dead suppression still trips LINT002 under the full set.
+    dead = lint_source(
+        "x = 1  # reprolint: disable=DET001 -- nothing here\n", relpath
+    )
+    assert [v.rule for v in dead] == ["LINT002"]
+
+
+# ----------------------------------------------------------------------
+# KEY001 — cache-key completeness
+# ----------------------------------------------------------------------
+
+def test_key001_clean_on_the_real_spec():
+    assert run_checks() == []
+
+
+def test_key001_fires_on_a_dropped_field():
+    from repro.sim.spec import SweepSpec
+
+    spec = SweepSpec()
+
+    def serializer_missing_fft_size(s):
+        return {k: v for k, v in s.to_dict().items() if k != "fft_size"}
+
+    missing = insensitive_fields(SweepSpec, spec, serializer_missing_fft_size)
+    assert missing == ["fft_size"]
+
+
+def test_key001_fires_on_a_toy_spec_with_a_forgotten_axis():
+    @dataclasses.dataclass(frozen=True)
+    class ToySpec:
+        snr_db: float = 0.0
+        new_axis: int = 0
+
+        def spec_hash(self):
+            return f"hash-{self.snr_db}"  # forgot new_axis
+
+    missing = insensitive_fields(ToySpec, ToySpec(), lambda s: s.spec_hash())
+    assert missing == ["new_axis"]
+
+
+def test_key001_stability_detects_contract_breaks():
+    from repro.sim.spec import SweepSpec
+
+    spec = SweepSpec()
+    point = spec.points()[0]
+
+    # A serializer that wrongly includes the grid index would break
+    # cross-grid sharing: the stability check must catch it.
+    def leaky(p):
+        return {**p.seed_payload(spec), "index": p.index}
+
+    moved = sensitive_fields(type(point), point, leaky, frozenset({"index"}))
+    assert moved == ["index"]
+    # The real payload is index-stable.
+    assert (
+        sensitive_fields(
+            type(point), point, lambda p: p.seed_payload(spec), frozenset({"index"})
+        )
+        == []
+    )
+
+
+# ----------------------------------------------------------------------
+# VER001 — engine-version drift
+# ----------------------------------------------------------------------
+
+def test_ver001_simulated_semantics_edit_without_bump_fails():
+    digests = {"src/repro/sim/engine.py": module_digest("X = 1\n")}
+    manifest = build_manifest(digests, engine_version=4)
+    assert check_manifest(manifest, digests, engine_version=4) == []
+
+    edited = {"src/repro/sim/engine.py": module_digest("X = 2\n")}
+    problems = check_manifest(manifest, edited, engine_version=4)
+    assert len(problems) == 1
+    assert "without an ENGINE_VERSION bump" in problems[0]
+    assert "src/repro/sim/engine.py" in problems[0]
+
+
+def test_ver001_bump_requires_manifest_refresh_then_passes():
+    digests = {"src/repro/sim/spec.py": module_digest("ENGINE_VERSION = 4\n")}
+    manifest = build_manifest(digests, engine_version=4)
+
+    bumped = {"src/repro/sim/spec.py": module_digest("ENGINE_VERSION = 5\n")}
+    problems = check_manifest(manifest, bumped, engine_version=5)
+    assert len(problems) == 1
+    assert "manifest records" in problems[0]
+
+    refreshed = build_manifest(bumped, engine_version=5)
+    assert check_manifest(refreshed, bumped, engine_version=5) == []
+
+
+def test_ver001_missing_manifest_is_a_finding():
+    problems = check_manifest(None, {}, engine_version=4)
+    assert problems and "missing" in problems[0]
+
+
+def test_ver001_fingerprint_ignores_comments_and_docstrings():
+    assert module_digest("X = 1\n") == module_digest("X = 1  # a comment\n")
+    assert module_digest("X = 1\n") == module_digest('"""Docstring."""\nX = 1\n')
+    assert module_digest("X = 1\n") != module_digest("X = 2\n")
+
+
+def test_ver001_real_manifest_matches_tree_and_detects_edits():
+    manifest = load_manifest(REPO_ROOT / "tools" / "lint" / "engine_manifest.json")
+    assert manifest is not None, "engine manifest must be committed"
+    digests = current_digests(REPO_ROOT)
+    from repro.sim.spec import ENGINE_VERSION
+
+    assert check_manifest(manifest, digests, ENGINE_VERSION) == []
+
+    # Simulate editing the sweep engine without bumping the version.
+    edited = dict(digests)
+    edited["src/repro/sim/engine.py"] = module_digest("X_TAMPERED = 1\n")
+    problems = check_manifest(manifest, edited, ENGINE_VERSION)
+    assert problems and "src/repro/sim/engine.py" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# Integration: the tree is lint-clean (this is the tier-1 gate)
+# ----------------------------------------------------------------------
+
+def _lint_cli(*args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT / "tools" / "lint")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return subprocess.run(
+        [sys.executable, "-m", "repro_lint", *args],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_tree_is_lint_clean():
+    result = _lint_cli("src", "tools", "examples")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "OK" in result.stdout
+
+
+def test_cli_json_report_shape():
+    result = _lint_cli("--format", "json", "--no-project-rules", "src")
+    payload = json.loads(result.stdout)
+    assert payload["summary"]["ok"] is True
+    assert payload["summary"]["n_files"] > 40
+    assert payload["violations"] == []
+
+
+def test_cli_exit_code_on_violation(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    pass\nexcept:\n    pass\n", encoding="utf-8")
+    result = _lint_cli("--no-project-rules", str(bad))
+    assert result.returncode == 1
+    assert "EXC001" in result.stdout
+
+
+def test_project_rules_clean_via_api():
+    violations = lint_project(REPO_ROOT)
+    assert violations == [], [v.format() for v in violations]

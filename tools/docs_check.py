@@ -28,6 +28,7 @@ PACKAGE_ROOT = REPO_ROOT / "src" / "repro"
 REQUIRED_DOCS = (
     "docs/simulation.md",
     "docs/streaming.md",
+    "docs/linting.md",
 )
 
 #: Section headings each doc page promises (matched as substrings of the
@@ -40,6 +41,11 @@ REQUIRED_SECTIONS: dict[str, tuple[str, ...]] = {
     ),
     "docs/streaming.md": (
         "Air-interface cost",
+    ),
+    "docs/linting.md": (
+        "Rule catalog",
+        "Suppressing a finding",
+        "Refreshing the engine-version manifest",
     ),
 }
 

@@ -1,0 +1,70 @@
+"""reprolint — an AST-based invariant checker for the repro engine.
+
+The repo's correctness rests on a handful of hand-enforced contracts:
+deterministic content-keyed seeding, ``ENGINE_VERSION`` bumps whenever
+simulation semantics change, all transform arithmetic routed through the
+``repro.dsp`` backend seam, and hot-path failures surfacing as
+``DecodingError`` so pooled sweeps count lost frames instead of dying.
+``repro_lint`` machine-enforces those contracts as static-analysis rules:
+
+========  ==============================================================
+SEAM001   no ``np.fft``/``scipy.fft`` outside ``repro/dsp`` — transforms
+          go through ``get_plan`` / the ``DspBackend`` seam
+DET001    no global-state RNG (``np.random.<sampler>``, the ``random``
+          module, unseeded ``default_rng()``) in engine/datapath code
+DET002    no wall-clock reads (``time.time``, ``datetime.now``) in
+          engine/datapath code
+KEY001    every ``SweepSpec``/``ImpairmentSpec``/``SweepPoint`` field
+          must perturb ``spec_hash``/``seed_payload``/``content_key``/
+          ``to_dict`` — a new axis can never silently alias cached points
+VER001    the semantics-bearing modules are fingerprinted into a
+          committed manifest; changing them without an ``ENGINE_VERSION``
+          bump or a manifest refresh fails the gate
+EXC001    no bare ``except:`` and no silently-swallowed ``Exception``
+EXC002    raising ``np.linalg`` solvers in datapath code must translate
+          ``LinAlgError`` into ``DecodingError``
+LINT001   suppression comments must carry a written justification
+LINT002   suppression comments must actually suppress something
+========  ==============================================================
+
+Findings are suppressed per line with a justified comment::
+
+    y = np.fft.fft(x)  # reprolint: disable=SEAM001 -- ground truth only
+
+Run it as ``python -m repro_lint src tools examples`` (or ``make lint``);
+see ``docs/linting.md`` for the full catalog and the manifest-refresh
+workflow.
+"""
+
+from __future__ import annotations
+
+from repro_lint.core import (
+    FileContext,
+    ProjectContext,
+    ProjectRule,
+    Rule,
+    Violation,
+    all_rules,
+    file_rules,
+    lint_project,
+    lint_source,
+    project_rules,
+    register,
+)
+
+# Importing the rule modules registers every shipped rule.
+from repro_lint import rules as _rules  # noqa: F401  (import-for-side-effect)
+
+__all__ = [
+    "FileContext",
+    "ProjectContext",
+    "ProjectRule",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "file_rules",
+    "lint_project",
+    "lint_source",
+    "project_rules",
+    "register",
+]

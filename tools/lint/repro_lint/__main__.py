@@ -1,0 +1,10 @@
+"""``python -m repro_lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from repro_lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

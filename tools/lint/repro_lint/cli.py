@@ -1,0 +1,163 @@
+"""Command-line front end: discovery, reporting, manifest refresh.
+
+Usage (also wired as ``make lint``)::
+
+    python -m repro_lint src tools examples        # text report, exit 1 on findings
+    python -m repro_lint --format json src          # machine-readable report
+    python -m repro_lint --list-rules               # rule catalog
+    python -m repro_lint --refresh-manifest         # rewrite the engine manifest
+
+Exit codes: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro_lint import core
+from repro_lint.core import META_RULES, Violation
+from repro_lint.rules.engine_version import MANIFEST_RELPATH, refresh_manifest
+
+#: Repo root inferred from this file's location
+#: (``tools/lint/repro_lint/cli.py`` -> three parents up).
+DEFAULT_ROOT = Path(__file__).resolve().parents[3]
+
+
+def _ensure_repro_importable(root: Path) -> None:
+    """Put ``<root>/src`` on ``sys.path`` for the project-wide rules."""
+    src = str(root / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+def _select(rules, selected: Optional[str]):
+    if not selected:
+        return rules
+    wanted = {rule_id.strip() for rule_id in selected.split(",") if rule_id.strip()}
+    return tuple(rule for rule in rules if rule.rule_id in wanted)
+
+
+def _report_text(violations: List[Violation], n_files: int) -> None:
+    for violation in violations:
+        print(violation.format())
+    n_rules = len(core.all_rules())
+    if violations:
+        print(
+            f"repro_lint: {len(violations)} violation(s) "
+            f"({n_files} files scanned, {n_rules} rules)"
+        )
+    else:
+        print(f"repro_lint: OK ({n_files} files scanned, {n_rules} rules)")
+
+
+def _report_json(violations: List[Violation], n_files: int) -> None:
+    print(
+        json.dumps(
+            {
+                "violations": [violation.to_dict() for violation in violations],
+                "summary": {
+                    "n_violations": len(violations),
+                    "n_files": n_files,
+                    "n_rules": len(core.all_rules()),
+                    "ok": not violations,
+                },
+            },
+            indent=2,
+        )
+    )
+
+
+def _list_rules() -> None:
+    for rule in core.all_rules():
+        kind = "project" if isinstance(rule, core.ProjectRule) else "file"
+        print(f"{rule.rule_id}  [{kind}]  {rule.name}")
+        print(f"    {rule.description}")
+    for rule_id, description in sorted(META_RULES.items()):
+        print(f"{rule_id}  [meta]  {description}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro_lint",
+        description="AST-based invariant checker for the repro engine",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src tools examples)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=DEFAULT_ROOT,
+        help="repository root used for rule scoping and the manifest",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt"
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--manifest",
+        type=Path,
+        help=f"engine-version manifest path (default: <root>/{MANIFEST_RELPATH})",
+    )
+    parser.add_argument(
+        "--no-project-rules",
+        action="store_true",
+        help="skip the repository-wide rules (KEY001, VER001)",
+    )
+    parser.add_argument(
+        "--refresh-manifest",
+        action="store_true",
+        help="rewrite the engine-version manifest from the current tree",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule catalog"
+    )
+    args = parser.parse_args(argv)
+
+    root = args.root.resolve()
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    _ensure_repro_importable(root)
+    if args.refresh_manifest:
+        target = refresh_manifest(root, args.manifest)
+        print(f"repro_lint: manifest refreshed at {target}")
+        return 0
+
+    targets = [Path(p) for p in args.paths] or [
+        root / "src", root / "tools", root / "examples"
+    ]
+    missing = [str(t) for t in targets if not t.exists()]
+    if missing:
+        print(f"repro_lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    files = core.discover_files(targets)
+    violations = core.lint_files(
+        root, files, rules=_select(core.file_rules(), args.select)
+    )
+    if not args.no_project_rules:
+        options = {}
+        if args.manifest:
+            options["manifest"] = args.manifest
+        violations.extend(
+            core.lint_project(
+                root, options, rules=_select(core.project_rules(), args.select)
+            )
+        )
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    if args.fmt == "json":
+        _report_json(violations, len(files))
+    else:
+        _report_text(violations, len(files))
+    return 1 if violations else 0

@@ -1,0 +1,70 @@
+"""Import-alias resolution for dotted-name matching.
+
+The path-scoped rules all reduce to "does this expression refer to
+``numpy.fft.fft`` / ``numpy.random.normal`` / ``time.time`` under whatever
+alias the module imported it as?".  :class:`ImportMap` records the aliases
+one module establishes (``import numpy as np``, ``from numpy import fft``,
+``from numpy.fft import fft as nfft``) and :func:`resolve` canonicalises an
+``ast.Attribute``/``ast.Name`` chain against them, so rules match the
+*canonical* dotted name instead of guessing at spellings.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional
+
+#: Spelling aliases collapsed before rule matching: ``np.fft`` and
+#: ``numpy.fft`` are the same library.
+_CANONICAL_ROOTS = {"np": "numpy", "sp": "scipy"}
+
+
+class ImportMap:
+    """Alias table of one module's imports."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.aliases: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for name in node.names:
+                    self.aliases[name.asname or name.name.split(".")[0]] = (
+                        name.name if name.asname else name.name.split(".")[0]
+                    )
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for name in node.names:
+                    if name.name == "*":
+                        continue
+                    self.aliases[name.asname or name.name] = (
+                        f"{node.module}.{name.name}"
+                    )
+
+    def canonical(self, dotted: str) -> str:
+        """Expand the leading alias of ``dotted`` to its imported name."""
+        head, _, rest = dotted.partition(".")
+        head = self.aliases.get(head, head)
+        head = _CANONICAL_ROOTS.get(head, head)
+        # Aliases may themselves start with a shorthand root module.
+        first, _, tail = head.partition(".")
+        first = _CANONICAL_ROOTS.get(first, first)
+        head = f"{first}.{tail}" if tail else first
+        return f"{head}.{rest}" if rest else head
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """The ``a.b.c`` chain of a Name/Attribute expression, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def resolve(node: ast.AST, imports: ImportMap) -> Optional[str]:
+    """Canonical dotted name of an expression, resolved through imports."""
+    dotted = dotted_name(node)
+    if dotted is None:
+        return None
+    return imports.canonical(dotted)

@@ -1,0 +1,354 @@
+"""KEY001 — cache-key completeness of the sweep spec serializations.
+
+The append-only result store trusts three hand-written serializations:
+``SweepSpec.spec_hash`` (the whole-sweep cache key),
+``SweepPoint.seed_payload`` (the physics identity every burst's RNG
+stream derives from) and ``SweepPoint.content_key`` (the per-point store
+key).  A field added to the dataclasses but forgotten in one of those
+payloads would make *different* operating points hash to the *same* key
+— cached results silently aliased, the exact failure mode this repo's
+caching design exists to prevent.
+
+This rule machine-checks completeness by *perturbation*, which is
+stronger than matching key names: for every dataclass field it builds a
+variant spec/point with that one field changed and asserts the derived
+key actually moves.  It also asserts the documented *stability*
+contracts — the grid ``index`` and the budget knobs must NOT move
+``seed_payload`` (grid-shape independence and budget extension are what
+let overlapping sweeps share stored points).
+
+The checks import ``repro.sim.spec`` at lint time (the analyzer runs
+with ``src/`` on ``sys.path``); they run once per invocation, not per
+file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro_lint.core import ProjectContext, ProjectRule, Violation, register
+
+#: SweepPoint fields that must NOT perturb ``seed_payload``: the grid
+#: index (content-keyed seeding is grid-shape independent) and the
+#: detector (ZF and MMSE are compared over identical noise realisations).
+SEED_PAYLOAD_EXEMPT_POINT_FIELDS = frozenset({"index", "detector"})
+
+#: SweepSpec fields that must NOT perturb ``seed_payload``: budget knobs
+#: (a bigger budget extends the same burst stream) and receiver-side
+#: processing choices, plus the axis tuples themselves (their *values*
+#: reach the payload through the expanded SweepPoint, not the spec).
+SEED_PAYLOAD_EXEMPT_SPEC_FIELDS = frozenset(
+    {
+        "n_bursts",
+        "target_errors",
+        "soft_decision",
+        "snr_db",
+        "modulations",
+        "code_rates",
+        "stream_counts",
+        "channels",
+        "detectors",
+        "impairments",
+    }
+)
+
+#: SweepSpec axis fields whose values reach ``content_key`` via the
+#: expanded point rather than the spec itself.
+CONTENT_KEY_EXEMPT_SPEC_FIELDS = frozenset(
+    {
+        "snr_db",
+        "modulations",
+        "code_rates",
+        "stream_counts",
+        "channels",
+        "detectors",
+        "impairments",
+    }
+)
+
+
+def perturbed_field_value(name: str, value):
+    """A *valid, different* value for one dataclass field.
+
+    Axis tuples get a duplicated element (always valid, always a
+    different serialized tuple); scalars move by type.  ``None``-able
+    fields switch to a concrete non-default instance.
+    """
+    # Lazy import keeps `repro` off the import path until a project rule runs.
+    from repro.dsp.fixedpoint import SAMPLE_FORMAT_16BIT
+    from repro.sim.spec import ImpairmentSpec
+
+    if name == "impairments":
+        return tuple(value) + (ImpairmentSpec(cfo_normalized=1.25e-4),)
+    if name == "impairment":
+        return ImpairmentSpec(cfo_normalized=1.25e-4)
+    if name in {"tx_format", "rx_format", "rx_multiplier_format"}:
+        return SAMPLE_FORMAT_16BIT if value is None else None
+    if isinstance(value, tuple):
+        return tuple(value) + (value[0],)
+    if isinstance(value, bool):
+        return not value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return value + 1
+    if isinstance(value, float):
+        return value + 1.0
+    if isinstance(value, str):
+        if name == "modulation":
+            return "qpsk" if value != "qpsk" else "bpsk"
+        if name == "channel":
+            return "ideal" if value != "ideal" else "flat_rayleigh"
+        if name == "detector":
+            return "mmse" if value != "mmse" else "zf"
+        if name == "code_rate":
+            return "3/4" if value != "3/4" else "2/3"
+        return value + "x"
+    if value is None:
+        return 1  # Optional[int] fields (target_errors)
+    raise TypeError(f"no perturbation strategy for field {name}={value!r}")
+
+
+def insensitive_fields(
+    cls,
+    base,
+    serialize: Callable[[object], object],
+    exempt: frozenset = frozenset(),
+) -> List[str]:
+    """Fields whose perturbation does NOT change ``serialize(base)``.
+
+    The generic engine behind KEY001: any field name returned here is
+    missing from the serialization and would alias cache records.
+    """
+    baseline = serialize(base)
+    missing = []
+    for f in dataclasses.fields(cls):
+        if f.name in exempt:
+            continue
+        variant = dataclasses.replace(
+            base, **{f.name: perturbed_field_value(f.name, getattr(base, f.name))}
+        )
+        if serialize(variant) == baseline:
+            missing.append(f.name)
+    return missing
+
+
+def sensitive_fields(
+    cls,
+    base,
+    serialize: Callable[[object], object],
+    only: frozenset,
+) -> List[str]:
+    """Fields in ``only`` whose perturbation DOES change the serialization.
+
+    The stability twin of :func:`insensitive_fields`: these fields are
+    contractually absent from the payload, so any of them moving it
+    breaks cross-grid sharing or budget extension.
+    """
+    baseline = serialize(base)
+    moved = []
+    for f in dataclasses.fields(cls):
+        if f.name not in only:
+            continue
+        variant = dataclasses.replace(
+            base, **{f.name: perturbed_field_value(f.name, getattr(base, f.name))}
+        )
+        if serialize(variant) != baseline:
+            moved.append(f.name)
+    return moved
+
+
+def _def_line(path: Path, needle: str) -> int:
+    """Line number of a ``def``/``class`` statement, for anchoring."""
+    if path.is_file():
+        for number, text in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+            if needle in text:
+                return number
+    return 1
+
+
+def run_checks() -> List[Tuple[str, str]]:
+    """All completeness/stability findings as (anchor, message) pairs.
+
+    ``anchor`` names the serialization method the finding belongs to so
+    the violation lands on its ``def`` line.
+    """
+    from repro.sim.spec import ImpairmentSpec, SweepSpec
+
+    findings: List[Tuple[str, str]] = []
+    spec = SweepSpec()
+    point = spec.points()[0]
+
+    # --- to_dict key coverage (round-trip completeness) ----------------
+    for cls, instance, anchor in (
+        (SweepSpec, spec, "def to_dict"),
+        (ImpairmentSpec, ImpairmentSpec(), "def to_dict"),
+        (type(point), point, "def to_dict"),
+    ):
+        field_names = {f.name for f in dataclasses.fields(cls)}
+        dict_keys = set(instance.to_dict().keys())
+        for name in sorted(field_names - dict_keys):
+            findings.append(
+                (
+                    anchor,
+                    f"{cls.__name__}.{name} is missing from to_dict(); "
+                    "from_dict round-trips would drop it",
+                )
+            )
+
+    # --- spec_hash completeness ----------------------------------------
+    for name in insensitive_fields(SweepSpec, spec, lambda s: s.spec_hash()):
+        findings.append(
+            (
+                "def spec_hash",
+                f"SweepSpec.{name} does not perturb spec_hash(); two sweeps "
+                "differing only in it would alias one cache entry",
+            )
+        )
+
+    # --- seed_payload completeness + stability -------------------------
+    def point_seed(p):
+        return p.seed_payload(spec)
+
+    for name in insensitive_fields(
+        type(point), point, point_seed, SEED_PAYLOAD_EXEMPT_POINT_FIELDS
+    ):
+        findings.append(
+            (
+                "def seed_payload",
+                f"SweepPoint.{name} does not perturb seed_payload(); two "
+                "physically different cells would draw identical bursts",
+            )
+        )
+    for name in sensitive_fields(
+        type(point), point, point_seed, SEED_PAYLOAD_EXEMPT_POINT_FIELDS
+    ):
+        findings.append(
+            (
+                "def seed_payload",
+                f"SweepPoint.{name} perturbs seed_payload() but is "
+                "contractually absent from the physics identity; this breaks "
+                "cross-grid sharing of stored points",
+            )
+        )
+
+    def spec_seed(s):
+        return point.seed_payload(s)
+
+    for name in insensitive_fields(
+        SweepSpec, spec, spec_seed, SEED_PAYLOAD_EXEMPT_SPEC_FIELDS
+    ):
+        findings.append(
+            (
+                "def seed_payload",
+                f"SweepSpec.{name} does not perturb seed_payload(); bursts "
+                "would be drawn identically for different physics",
+            )
+        )
+    for name in sensitive_fields(
+        SweepSpec,
+        spec,
+        spec_seed,
+        frozenset({"n_bursts", "target_errors", "soft_decision"}),
+    ):
+        findings.append(
+            (
+                "def seed_payload",
+                f"SweepSpec.{name} perturbs seed_payload() but budget/"
+                "receiver knobs must extend the same burst stream, not "
+                "re-roll it",
+            )
+        )
+
+    # --- content_key completeness --------------------------------------
+    def point_key(p):
+        return p.content_key(spec)
+
+    for name in insensitive_fields(
+        type(point), point, point_key, frozenset({"index"})
+    ):
+        findings.append(
+            (
+                "def content_key",
+                f"SweepPoint.{name} does not perturb content_key(); two "
+                "different cells would share one store record",
+            )
+        )
+    for name in sensitive_fields(type(point), point, point_key, frozenset({"index"})):
+        findings.append(
+            (
+                "def content_key",
+                f"SweepPoint.{name} perturbs content_key(); the store key "
+                "must be grid-shape independent or overlapping sweeps stop "
+                "sharing records",
+            )
+        )
+    for name in insensitive_fields(
+        SweepSpec, spec, lambda s: point.content_key(s), CONTENT_KEY_EXEMPT_SPEC_FIELDS
+    ):
+        findings.append(
+            (
+                "def content_key",
+                f"SweepSpec.{name} does not perturb content_key(); records "
+                "for different budgets/physics would alias in the store",
+            )
+        )
+
+    # --- ImpairmentSpec completeness (through the point key) ------------
+    impaired = dataclasses.replace(point, impairment=ImpairmentSpec())
+    for name in insensitive_fields(
+        ImpairmentSpec,
+        ImpairmentSpec(),
+        lambda imp: dataclasses.replace(impaired, impairment=imp).content_key(spec),
+    ):
+        findings.append(
+            (
+                "def content_key",
+                f"ImpairmentSpec.{name} does not perturb the point "
+                "content_key(); two front-end conditions would share one "
+                "store record",
+            )
+        )
+    return findings
+
+
+@register
+class CacheKeyCompletenessRule(ProjectRule):
+    rule_id = "KEY001"
+    name = "cache-key-completeness"
+    description = (
+        "every SweepSpec/ImpairmentSpec/SweepPoint field must perturb "
+        "spec_hash/seed_payload/content_key/to_dict (and the contractual "
+        "absences must stay absent)"
+    )
+
+    def check(self, project: ProjectContext) -> List[Violation]:
+        spec_path = project.root / "src" / "repro" / "sim" / "spec.py"
+        relpath = "src/repro/sim/spec.py"
+        try:
+            findings = run_checks()
+        except Exception as error:  # pragma: no cover - defensive surface
+            return [
+                Violation(
+                    rule=self.rule_id,
+                    path=relpath,
+                    line=1,
+                    col=1,
+                    message=f"completeness checks could not run: {error!r}",
+                )
+            ]
+        anchors: Dict[str, int] = {}
+        violations = []
+        for anchor, message in findings:
+            if anchor not in anchors:
+                anchors[anchor] = _def_line(spec_path, anchor)
+            violations.append(
+                Violation(
+                    rule=self.rule_id,
+                    path=relpath,
+                    line=anchors[anchor],
+                    col=1,
+                    message=message,
+                )
+            )
+        return violations

@@ -1,0 +1,149 @@
+"""DET001/DET002 — engine code must be reproducible by construction.
+
+The sweep engine's contract is that results are a pure function of the
+spec: every burst's RNG streams derive from
+``SeedSequence([content_hash(seed_payload), burst_index])`` and nothing
+else.  Global-state randomness (``np.random.<sampler>``, the stdlib
+``random`` module, an unseeded ``default_rng()``) or wall-clock reads
+(``time.time``, ``datetime.now``) inside ``src/repro/`` would break that
+contract invisibly — results would vary across runs while the result
+store kept serving them as if they were deterministic facts.
+
+DET001 flags global/unseeded randomness; DET002 flags wall-clock reads.
+Explicit seeding stays legal: ``default_rng(seed)``,
+``SeedSequence([...])`` and generator *types* in annotations are all
+fine, as are the monotonic timers (``time.perf_counter``) the runner
+uses to report elapsed wall time — they never feed the simulated
+physics.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro_lint.core import FileContext, Rule, Violation, register
+from repro_lint.names import ImportMap, resolve
+
+#: ``numpy.random`` attributes that are legal to *call* in engine code:
+#: explicit construction of seeded streams and the type names used in
+#: annotations/isinstance checks.
+_ALLOWED_NP_RANDOM = {
+    "default_rng",
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+}
+
+#: Wall-clock callables whose value depends on when the process runs.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+def _is_unseeded_default_rng(call: ast.Call) -> bool:
+    """True for ``default_rng()`` / ``default_rng(None)`` — OS entropy."""
+    if call.keywords:
+        return False
+    if not call.args:
+        return True
+    return len(call.args) == 1 and (
+        isinstance(call.args[0], ast.Constant) and call.args[0].value is None
+    )
+
+
+@register
+class GlobalRngRule(Rule):
+    rule_id = "DET001"
+    name = "no-global-rng"
+    description = (
+        "no global-state randomness in engine code: np.random.<sampler>, "
+        "the random module, or unseeded default_rng()"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check(self, ctx: FileContext) -> List[Violation]:
+        imports = ImportMap(ctx.tree)
+        violations: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = resolve(node.func, imports)
+            if canonical is None:
+                continue
+            if canonical.startswith("numpy.random."):
+                attr = canonical[len("numpy.random."):]
+                if attr == "default_rng" and _is_unseeded_default_rng(node):
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "unseeded default_rng() draws OS entropy; derive "
+                            "the generator from the point's seed tree "
+                            "(burst_seed / SeedSequence) instead",
+                        )
+                    )
+                elif "." not in attr and attr not in _ALLOWED_NP_RANDOM:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            f"numpy.random.{attr} uses the global RNG state; "
+                            "thread a seeded np.random.Generator through "
+                            "instead",
+                        )
+                    )
+            elif canonical.startswith("random."):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"stdlib {canonical} uses process-global RNG state; "
+                        "engine code must draw from a seeded "
+                        "np.random.Generator",
+                    )
+                )
+        return violations
+
+
+@register
+class WallClockRule(Rule):
+    rule_id = "DET002"
+    name = "no-wall-clock"
+    description = (
+        "no wall-clock reads (time.time, datetime.now) in engine code; "
+        "monotonic timers for elapsed-time reporting are fine"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/")
+
+    def check(self, ctx: FileContext) -> List[Violation]:
+        imports = ImportMap(ctx.tree)
+        violations: List[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            canonical = resolve(node.func, imports)
+            if canonical in _WALL_CLOCK:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{canonical} makes results depend on when the run "
+                        "happened; use time.perf_counter for elapsed-time "
+                        "reporting, or make the timestamp an explicit input",
+                    )
+                )
+        return violations

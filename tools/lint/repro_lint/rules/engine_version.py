@@ -1,0 +1,243 @@
+"""VER001 — semantics drift must be acknowledged by an ENGINE_VERSION bump.
+
+The result store is append-only and keyed by ``(ENGINE_VERSION,
+point_key)``: records written by engine version N are served forever as
+version-N facts.  That is only safe while the convention "bump
+``ENGINE_VERSION`` whenever simulation semantics change" actually holds —
+and conventions drift.  This rule machine-enforces it: the
+semantics-bearing modules are fingerprinted into a committed manifest
+(``tools/lint/engine_manifest.json``), and any change to their *code*
+without either an ``ENGINE_VERSION`` bump or an explicit manifest refresh
+fails the gate.
+
+The fingerprint hashes each module's **AST with docstrings stripped**, so
+comment, docstring and formatting edits never trip the gate — only code
+changes do.  A code change that provably does not alter simulated
+statistics (a pure refactor, a new helper) is acknowledged by refreshing
+the manifest alone (``python -m repro_lint --refresh-manifest``); the
+manifest diff then records the judgement call for review.  A change that
+*does* alter statistics gets an ``ENGINE_VERSION`` bump first, then the
+refresh records the new version.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro_lint.core import ProjectContext, ProjectRule, Violation, register
+
+#: Default manifest location, relative to the repo root.
+MANIFEST_RELPATH = "tools/lint/engine_manifest.json"
+
+#: Directories under ``src/repro`` whose modules bear simulation
+#: semantics: anything here changes what number a stored record means.
+SEMANTIC_DIRS = (
+    "core",
+    "channel",
+    "coding",
+    "modulation",
+    "dsp",
+    "mimo",
+    "sync",
+    "utils",
+)
+
+#: Individual semantics-bearing modules outside those directories.  The
+#: rest of ``sim/`` (store, queue) is storage/transport: it moves records
+#: around without changing what they mean.  ``stream/``, ``hardware/``,
+#: ``rtl/`` and ``analysis/`` are not consulted by the pooled sweep
+#: engine's statistics.
+SEMANTIC_FILES = (
+    "exceptions.py",
+    "sim/engine.py",
+    "sim/spec.py",
+    "sim/runner.py",
+    "sim/stats.py",
+    "sim/cache.py",
+)
+
+
+def semantic_paths(root: Path) -> List[Path]:
+    """Every semantics-bearing module below ``root``, sorted."""
+    package = root / "src" / "repro"
+    paths: List[Path] = []
+    for name in SEMANTIC_DIRS:
+        directory = package / name
+        if directory.is_dir():
+            paths.extend(p for p in directory.rglob("*.py") if "__pycache__" not in p.parts)
+    for name in SEMANTIC_FILES:
+        path = package / name
+        if path.is_file():
+            paths.append(path)
+    return sorted(set(paths))
+
+
+class _DocstringStripper(ast.NodeTransformer):
+    """Remove module/class/function docstrings before fingerprinting."""
+
+    def _strip(self, node):
+        self.generic_visit(node)
+        if (
+            node.body
+            and isinstance(node.body[0], ast.Expr)
+            and isinstance(node.body[0].value, ast.Constant)
+            and isinstance(node.body[0].value.value, str)
+        ):
+            node.body = node.body[1:] or [ast.Pass()]
+        return node
+
+    visit_Module = _strip
+    visit_ClassDef = _strip
+    visit_FunctionDef = _strip
+    visit_AsyncFunctionDef = _strip
+
+
+def module_digest(source: str) -> str:
+    """Digest of one module's semantics (AST, docstrings stripped).
+
+    Falls back to hashing the raw text when the file does not parse, so
+    a syntactically broken module still registers as changed.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        payload = source
+    else:
+        payload = ast.dump(_DocstringStripper().visit(tree))
+    return "sha256:" + hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def current_digests(root: Path) -> Dict[str, str]:
+    """Repo-relative path -> semantics digest of every semantic module."""
+    return {
+        path.relative_to(root).as_posix(): module_digest(
+            path.read_text(encoding="utf-8")
+        )
+        for path in semantic_paths(root)
+    }
+
+
+def tree_fingerprint(digests: Dict[str, str]) -> str:
+    """One digest over the whole per-file digest table."""
+    lines = "\n".join(f"{path}:{digest}" for path, digest in sorted(digests.items()))
+    return "sha256:" + hashlib.sha256(lines.encode("utf-8")).hexdigest()
+
+
+def build_manifest(digests: Dict[str, str], engine_version: int) -> dict:
+    """Manifest payload recording one (version, fingerprint) state."""
+    return {
+        "comment": (
+            "Committed fingerprint of the semantics-bearing modules. "
+            "Refresh with 'python -m repro_lint --refresh-manifest' after "
+            "bumping ENGINE_VERSION (or after a provably non-semantic "
+            "refactor). Never edit by hand."
+        ),
+        "engine_version": int(engine_version),
+        "fingerprint": tree_fingerprint(digests),
+        "files": dict(sorted(digests.items())),
+    }
+
+
+def check_manifest(
+    manifest: Optional[dict],
+    digests: Dict[str, str],
+    engine_version: int,
+) -> List[str]:
+    """Drift findings between a manifest and the current tree.
+
+    Pure function of its inputs so tests can simulate edits and version
+    bumps without touching the filesystem.
+    """
+    if manifest is None:
+        return [
+            "engine-version manifest is missing; run "
+            "'python -m repro_lint --refresh-manifest' and commit it"
+        ]
+    problems: List[str] = []
+    recorded_version = manifest.get("engine_version")
+    if recorded_version != engine_version:
+        problems.append(
+            f"ENGINE_VERSION is {engine_version} but the manifest records "
+            f"{recorded_version}; run 'python -m repro_lint "
+            "--refresh-manifest' to acknowledge the bump"
+        )
+        return problems  # File-level drift is expected alongside a bump.
+    if tree_fingerprint(digests) == manifest.get("fingerprint"):
+        return []
+    recorded_files = manifest.get("files", {})
+    changed = sorted(
+        path
+        for path in digests.keys() & recorded_files.keys()
+        if digests[path] != recorded_files[path]
+    )
+    added = sorted(digests.keys() - recorded_files.keys())
+    removed = sorted(recorded_files.keys() - digests.keys())
+    details = "; ".join(
+        f"{label}: {', '.join(paths)}"
+        for label, paths in (("changed", changed), ("added", added), ("removed", removed))
+        if paths
+    )
+    problems.append(
+        "semantics-bearing modules changed without an ENGINE_VERSION bump "
+        f"({details}) — if simulated statistics change, bump ENGINE_VERSION "
+        "in src/repro/sim/spec.py; either way refresh the manifest "
+        "('python -m repro_lint --refresh-manifest') so the diff records "
+        "the judgement"
+    )
+    return problems
+
+
+def load_manifest(path: Path) -> Optional[dict]:
+    """Parse the committed manifest; ``None`` when absent or unreadable."""
+    if not path.is_file():
+        return None
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+    return payload if isinstance(payload, dict) else None
+
+
+def refresh_manifest(root: Path, manifest_path: Optional[Path] = None) -> Path:
+    """Rewrite the manifest from the current tree + ENGINE_VERSION."""
+    from repro.sim.spec import ENGINE_VERSION
+
+    target = manifest_path or root / MANIFEST_RELPATH
+    payload = build_manifest(current_digests(root), ENGINE_VERSION)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return target
+
+
+@register
+class EngineVersionDriftRule(ProjectRule):
+    rule_id = "VER001"
+    name = "engine-version-drift"
+    description = (
+        "semantics-bearing modules are fingerprinted into a committed "
+        "manifest; code changes require an ENGINE_VERSION bump or an "
+        "explicit manifest refresh"
+    )
+
+    def check(self, project: ProjectContext) -> List[Violation]:
+        from repro.sim.spec import ENGINE_VERSION
+
+        manifest_path = Path(
+            project.options.get("manifest", project.root / MANIFEST_RELPATH)
+        )
+        manifest = load_manifest(manifest_path)
+        digests = current_digests(project.root)
+        try:
+            relpath = manifest_path.resolve().relative_to(
+                project.root.resolve()
+            ).as_posix()
+        except ValueError:
+            relpath = manifest_path.as_posix()
+        return [
+            Violation(rule=self.rule_id, path=relpath, line=1, col=1, message=message)
+            for message in check_manifest(manifest, digests, ENGINE_VERSION)
+        ]
