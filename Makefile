@@ -5,6 +5,9 @@
 #   make test-fast         - unit tests only (skips the benchmark harness)
 #   make lint              - repro_lint invariant gate over src/ tools/
 #                            examples/ (+ a minimal ruff pass when installed)
+#   make typecheck         - mypy strict-on-annotated over src/repro (skips
+#                            with a warning when mypy is absent); writes
+#                            build/typecheck_report.json
 #   make test-store        - result-store tier: store/queue semantics, crash/
 #                            resume, concurrency, adaptive refinement, sharing gates
 #   make bench-smoke       - quick benchmark pass: every claim/table/ablation once
@@ -23,13 +26,16 @@ PYTHON ?= python
 PYTHONPATH_PREFIX := PYTHONPATH=src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 LINTPATH_PREFIX := PYTHONPATH=src:tools/lint$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test test-fast test-store lint bench-smoke bench-impairments bench-rx bench-link bench-store bench-stream docs-check clean-cache
+.PHONY: test test-fast test-store lint typecheck bench-smoke bench-impairments bench-rx bench-link bench-store bench-stream docs-check clean-cache
 
-test: lint
+test: lint typecheck
 	$(PYTHONPATH_PREFIX) $(PYTHON) -m pytest -x -q
 
+typecheck:
+	$(PYTHON) tools/typecheck.py
+
 lint:
-	$(LINTPATH_PREFIX) $(PYTHON) -m repro_lint src tools examples
+	$(LINTPATH_PREFIX) $(PYTHON) -m repro_lint src tools examples tests
 	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
 		$(PYTHON) -m ruff check src tools examples; \
 	elif command -v ruff >/dev/null 2>&1; then \

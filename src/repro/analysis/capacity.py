@@ -25,14 +25,16 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.core.config import TransceiverConfig
 from repro.core.throughput import throughput_for_config
 from repro.mimo.matrix import hermitian
 from repro.utils.rng import SeedLike, make_rng
+from repro.utils.units import db_to_linear
 
 
-def mimo_capacity(channel_matrix: np.ndarray, snr_db: float) -> float:
+def mimo_capacity(channel_matrix: npt.ArrayLike, snr_db: float) -> float:
     """Capacity (bits/s/Hz) of one MIMO channel with equal power allocation.
 
     ``C = log2 det(I + (SNR / n_tx) * H H^H)`` — the open-loop capacity of a
@@ -42,7 +44,7 @@ def mimo_capacity(channel_matrix: np.ndarray, snr_db: float) -> float:
     if h.ndim != 2:
         raise ValueError("channel matrix must be 2-D")
     n_rx, n_tx = h.shape
-    snr_linear = 10.0 ** (snr_db / 10.0)
+    snr_linear = db_to_linear(snr_db)
     gram = np.eye(n_rx) + (snr_linear / n_tx) * (h @ hermitian(h))
     sign, logdet = np.linalg.slogdet(gram)
     if sign <= 0:
@@ -70,7 +72,7 @@ def ergodic_mimo_capacity(
         generator.normal(size=(n_realizations, n_rx, n_tx))
         + 1j * generator.normal(size=(n_realizations, n_rx, n_tx))
     ) / np.sqrt(2.0)
-    snr_linear = 10.0 ** (snr_db / 10.0)
+    snr_linear = db_to_linear(snr_db)
     h_conj = np.conj(np.swapaxes(h, -1, -2))  # stacked Hermitian transpose
     gram = np.eye(n_rx)[None] + (snr_linear / n_tx) * (h @ h_conj)
     signs, logdets = np.linalg.slogdet(gram)

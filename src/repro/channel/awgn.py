@@ -3,22 +3,25 @@
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
 
+from repro.types import ComplexArray
 from repro.utils.rng import SeedLike, make_rng
+from repro.utils.units import db_to_linear
 
 
 def noise_variance_for_snr(snr_db: float, signal_power: float = 1.0) -> float:
     """Complex noise variance achieving ``snr_db`` for the given signal power."""
     if signal_power <= 0:
         raise ValueError("signal_power must be positive")
-    return signal_power / (10.0 ** (snr_db / 10.0))
+    return signal_power / db_to_linear(snr_db)
 
 
 def awgn_noise(
     shape: tuple[int, ...] | int,
     variance: float,
     rng: SeedLike = None,
-) -> np.ndarray:
+) -> ComplexArray:
     """Circularly-symmetric complex Gaussian noise with total variance ``variance``."""
     if variance < 0:
         raise ValueError("variance must be non-negative")
@@ -29,7 +32,7 @@ def awgn_noise(
     return scale * (real + 1j * imag)
 
 
-def occupied_power(signal: np.ndarray) -> float:
+def occupied_power(signal: npt.ArrayLike) -> float:
     """Mean signal power over the *occupied* sample instants.
 
     A burst observation window can contain sample instants where nothing is
@@ -59,12 +62,12 @@ def occupied_power(signal: np.ndarray) -> float:
 
 
 def add_awgn(
-    signal: np.ndarray,
+    signal: npt.ArrayLike,
     snr_db: float,
     rng: SeedLike = None,
     measure_power: bool = True,
     signal_power: float | None = None,
-) -> np.ndarray:
+) -> ComplexArray:
     """Add AWGN to ``signal`` at the requested SNR.
 
     Parameters

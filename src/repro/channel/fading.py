@@ -18,6 +18,9 @@ from typing import Optional
 
 import numpy as np
 
+import numpy.typing as npt
+
+from repro.types import ComplexArray, FloatArray
 from repro.dsp.fft import get_plan
 from repro.utils.rng import SeedLike, make_rng
 
@@ -40,7 +43,7 @@ def rayleigh_matrix(
     return h
 
 
-def exponential_power_delay_profile(n_taps: int, decay: float = 1.0) -> np.ndarray:
+def exponential_power_delay_profile(n_taps: int, decay: float = 1.0) -> FloatArray:
     """Exponentially decaying tap powers, normalised to sum to one."""
     if n_taps <= 0:
         raise ValueError("n_taps must be positive")
@@ -74,14 +77,14 @@ class FlatRayleighChannel:
         else:
             self.matrix = rayleigh_matrix(n_rx, n_tx, rng)
 
-    def apply(self, tx_samples: np.ndarray) -> np.ndarray:
+    def apply(self, tx_samples: npt.ArrayLike) -> ComplexArray:
         """Apply the channel to ``tx_samples`` of shape ``(n_tx, n_samples)``."""
         x = np.asarray(tx_samples, dtype=np.complex128)
         if x.ndim != 2 or x.shape[0] != self.n_tx:
             raise ValueError(f"expected shape ({self.n_tx}, n_samples), got {x.shape}")
         return self.matrix @ x
 
-    def frequency_response(self, fft_size: int) -> np.ndarray:
+    def frequency_response(self, fft_size: int) -> ComplexArray:
         """Channel matrix per subcarrier, shape ``(fft_size, n_rx, n_tx)``."""
         return np.broadcast_to(
             self.matrix, (fft_size, self.n_rx, self.n_tx)
@@ -126,7 +129,7 @@ class FrequencySelectiveChannel:
             gains /= np.sqrt(2.0)
             self.taps = gains * np.sqrt(profile)[None, None, :]
 
-    def apply(self, tx_samples: np.ndarray) -> np.ndarray:
+    def apply(self, tx_samples: npt.ArrayLike) -> ComplexArray:
         """Convolve ``tx_samples`` of shape ``(n_tx, n_samples)`` with the taps."""
         x = np.asarray(tx_samples, dtype=np.complex128)
         if x.ndim != 2 or x.shape[0] != self.n_tx:
@@ -139,7 +142,7 @@ class FrequencySelectiveChannel:
                 y[rx] += full[:n_samples]
         return y
 
-    def frequency_response(self, fft_size: int) -> np.ndarray:
+    def frequency_response(self, fft_size: int) -> ComplexArray:
         """Exact channel matrix per subcarrier, shape ``(fft_size, n_rx, n_tx)``.
 
         Useful as the ground truth the receiver's estimate is compared with.

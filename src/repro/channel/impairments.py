@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.utils.units import amplitude_db_to_gain
+
 
 def apply_carrier_frequency_offset(
     samples: np.ndarray, cfo_normalized: float, start_index: int = 0
@@ -56,7 +58,7 @@ def apply_iq_imbalance(
     amplitude/phase parameterisation.
     """
     x = np.asarray(samples, dtype=np.complex128)
-    g = 10.0 ** (amplitude_imbalance_db / 20.0)
+    g = amplitude_db_to_gain(amplitude_imbalance_db)
     phi = np.deg2rad(phase_imbalance_deg)
     alpha = 0.5 * (1.0 + g * np.exp(1j * phi))
     beta = 0.5 * (1.0 - g * np.exp(1j * phi))

@@ -37,6 +37,7 @@ from repro.channel.impairments import (
 )
 from repro.dsp.fixedpoint import FixedPointFormat
 from repro.utils.rng import SeedLike, make_rng
+from repro.utils.units import amplitude_db_to_gain
 
 
 class IdealChannel:
@@ -265,7 +266,7 @@ class MimoChannel:
         if noise_variance:
             y += awgn_noise(y.shape, noise_variance, self.rng)
         if self.iq_amplitude_db or self.iq_phase_deg:
-            g = 10.0 ** (self.iq_amplitude_db / 20.0)
+            g = amplitude_db_to_gain(self.iq_amplitude_db)
             phi = np.deg2rad(self.iq_phase_deg)
             alpha = 0.5 * (1.0 + g * np.exp(1j * phi))
             beta = 0.5 * (1.0 - g * np.exp(1j * phi))

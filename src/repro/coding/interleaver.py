@@ -19,10 +19,13 @@ from typing import List, Optional
 
 import numpy as np
 
+import numpy.typing as npt
+
+from repro.types import IntArray
 from repro.utils.bits import _as_bit_array
 
 
-def interleaver_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+def interleaver_permutation(n_cbps: int, n_bpsc: int) -> IntArray:
     """802.11a interleaver permutation.
 
     Returns an array ``perm`` of length ``n_cbps`` such that input bit ``k``
@@ -51,7 +54,7 @@ def interleaver_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
     return perm
 
 
-def deinterleaver_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
+def deinterleaver_permutation(n_cbps: int, n_bpsc: int) -> IntArray:
     """Inverse permutation: output position ``j`` receives input bit ``perm[j]``."""
     perm = interleaver_permutation(n_cbps, n_bpsc)
     inverse = np.empty_like(perm)
@@ -59,7 +62,7 @@ def deinterleaver_permutation(n_cbps: int, n_bpsc: int) -> np.ndarray:
     return inverse
 
 
-def interleave(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+def interleave(values: npt.ArrayLike, n_cbps: int, n_bpsc: int) -> np.ndarray:
     """Interleave one or more whole blocks of coded bits (or soft values)."""
     arr = np.asarray(values)
     if arr.size % n_cbps != 0:
@@ -73,7 +76,7 @@ def interleave(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
     return out.reshape(arr.shape)
 
 
-def deinterleave(values: np.ndarray, n_cbps: int, n_bpsc: int) -> np.ndarray:
+def deinterleave(values: npt.ArrayLike, n_cbps: int, n_bpsc: int) -> np.ndarray:
     """Invert :func:`interleave` on one or more whole blocks."""
     arr = np.asarray(values)
     if arr.size % n_cbps != 0:

@@ -20,6 +20,7 @@ from repro.coding.convolutional import CodeRate
 from repro.dsp.fixedpoint import FixedPointFormat
 from repro.exceptions import ConfigurationError
 from repro.modulation.constellations import Modulation
+from repro.types import DetectorName
 
 #: 802.11a pilot subcarriers (logical indices, 64-point OFDM).
 _IEEE80211A_PILOTS = (-21, -7, 7, 21)
@@ -164,7 +165,7 @@ class TransceiverConfig:
     use_cordic_channel_inversion: bool = False
     scramble: bool = True
     correct_cfo: bool = False
-    detector: str = "zf"
+    detector: DetectorName = "zf"
     rx_sample_format: Optional[FixedPointFormat] = None
     rx_multiplier_format: Optional[FixedPointFormat] = None
 

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.config import OfdmNumerology, _logical_to_fft_bin
 from repro.dsp.fft import ifft
 from repro.exceptions import ConfigurationError
+from repro.types import ComplexArray
 
 # 802.11a long training sequence on logical subcarriers -26..-1, +1..+26.
 _LTS_NEGATIVE = [1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1]
@@ -130,17 +131,17 @@ class PreambleGenerator:
     # ------------------------------------------------------------------
     # time-domain sections
     # ------------------------------------------------------------------
-    def sts_time(self) -> np.ndarray:
+    def sts_time(self) -> ComplexArray:
         """Short training section: 10 repetitions of the short symbol."""
         full_period = ifft(self.sts_frequency)
         short_symbol = full_period[: self.short_symbol_length]
         return np.tile(short_symbol, STS_REPETITIONS)
 
-    def lts_symbol_time(self) -> np.ndarray:
+    def lts_symbol_time(self) -> ComplexArray:
         """One long-training OFDM symbol (no cyclic prefix)."""
         return ifft(self.lts_frequency)
 
-    def lts_time(self) -> np.ndarray:
+    def lts_time(self) -> ComplexArray:
         """Long training section: long cyclic prefix + two LTS repetitions."""
         symbol = self.lts_symbol_time()
         prefix = symbol[-self.lts_cp_length:]
@@ -159,7 +160,7 @@ class PreambleGenerator:
             n_lts_slots=n_antennas,
         )
 
-    def mimo_preamble(self, n_antennas: int) -> np.ndarray:
+    def mimo_preamble(self, n_antennas: int) -> ComplexArray:
         """Per-antenna preamble waveforms, shape ``(n_antennas, total_length)``.
 
         Antenna 0 transmits the STS; each antenna then transmits the LTS in

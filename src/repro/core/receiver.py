@@ -28,7 +28,7 @@ and detection is quantised to ``TransceiverConfig.rx_multiplier_format``
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +36,7 @@ from repro.coding.convolutional import ConvolutionalCode, ConvolutionalEncoder
 from repro.coding.interleaver import deinterleave
 from repro.coding.scrambler import Scrambler
 from repro.coding.viterbi import ViterbiDecoder
+from repro.contracts import shaped
 from repro.core.config import TransceiverConfig
 from repro.core.frame import ReceiveResult, StreamDecodeResult
 from repro.core.pilots import PilotProcessor
@@ -47,6 +48,7 @@ from repro.mimo.detector import MmseDetector, zf_detect
 from repro.modulation.demapper import SymbolDemapper
 from repro.sync.cfo import CfoEstimator
 from repro.sync.time_sync import TimeSynchronizer
+from repro.types import ComplexArray, FloatArray
 
 
 class MimoReceiver:
@@ -242,14 +244,15 @@ class MimoReceiver:
     # ------------------------------------------------------------------
     # post-sync datapath: FFT windows -> MIMO detection -> pilot correction
     # ------------------------------------------------------------------
+    @shaped(streams="(n_rx, n_samples)")
     def equalize_burst(
         self,
-        streams: np.ndarray,
+        streams: ComplexArray,
         estimate: ChannelEstimate,
         data_start: int,
         n_symbols: int,
         noise_variance: float = 1.0,
-    ) -> tuple[np.ndarray, np.ndarray]:
+    ) -> Tuple[ComplexArray, FloatArray]:
         """Equalise every data OFDM symbol of a synchronised burst.
 
         This is the paper's Fig. 5 inner datapath: per-antenna FFT of each

@@ -27,6 +27,7 @@ import numpy as np
 from repro.coding.convolutional import ConvolutionalCode, ConvolutionalEncoder
 from repro.coding.interleaver import interleave
 from repro.coding.scrambler import Scrambler
+from repro.contracts import shaped
 from repro.core.config import TransceiverConfig
 from repro.core.frame import TransmitBurst
 from repro.core.pilots import PilotProcessor
@@ -35,6 +36,7 @@ from repro.dsp.backend import BackendLike, get_backend
 from repro.dsp.fft import ofdm_modulate
 from repro.exceptions import ConfigurationError
 from repro.modulation.mapper import SymbolMapper
+from repro.types import BitArray, ComplexArray
 from repro.utils.bits import _as_bit_array
 
 
@@ -152,7 +154,8 @@ class MimoTransmitter:
     # ------------------------------------------------------------------
     # whole-burst datapath
     # ------------------------------------------------------------------
-    def _map_block(self, padded_bits: np.ndarray, n_symbols: int) -> np.ndarray:
+    @shaped("(n_streams, n_symbols, fft_size)", padded_bits="(n_streams, n_bits)")
+    def _map_block(self, padded_bits: BitArray, n_symbols: int) -> ComplexArray:
         """Interleave, map and pilot-insert every stream's burst in one pass.
 
         ``padded_bits`` has shape ``(n_streams, n_symbols * n_cbps)``; the
@@ -175,7 +178,11 @@ class MimoTransmitter:
         block[..., data_bins] = points.reshape(n_streams, n_symbols, len(data_bins))
         return self.pilots.insert_block(block)
 
-    def _modulate_block(self, frequency_block: np.ndarray) -> np.ndarray:
+    @shaped(
+        "(n_streams, n_time_samples)",
+        frequency_block="(n_streams, n_symbols, fft_size)",
+    )
+    def _modulate_block(self, frequency_block: ComplexArray) -> ComplexArray:
         """One planned IFFT + one strided CP gather for the whole burst.
 
         ``frequency_block`` has shape ``(n_streams, n_symbols, fft_size)``;
@@ -188,7 +195,7 @@ class MimoTransmitter:
         n_streams, n_symbols, fft_size = frequency_block.shape
         cp = self.config.cyclic_prefix_length
         if n_symbols == 0:
-            return np.zeros((n_streams, 0), dtype=np.complex128)
+            return self.backend.zeros((n_streams, 0))
         time_domain = self.backend.ifft(frequency_block)
         gather = np.concatenate(
             [np.arange(fft_size - cp, fft_size), np.arange(fft_size)]
@@ -260,7 +267,7 @@ class MimoTransmitter:
         burst[:, : layout.total_length] = preamble_waveform
         data_end = layout.total_length + data_length
         if self.vectorized:
-            burst[:, layout.total_length : data_end] = self._modulate_block(
+            burst[:, layout.total_length : data_end] = self._modulate_block(  # reprolint: disable=DTYPE001 -- the assembled burst is the complex128 air-interface boundary; payload precision is already decided inside the backend's ifft, so this single widening store loses nothing
                 frequency_symbols
             )
         else:

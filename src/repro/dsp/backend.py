@@ -33,8 +33,13 @@ from functools import lru_cache
 from typing import Dict, Tuple, Union
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.dsp.fft import get_plan
+
+#: Any complex array a backend may produce (complex128 or complex64,
+#: depending on the backend's working dtype).
+ComplexArrayAny = npt.NDArray[np.complexfloating]
 
 #: Environment variable naming the process-wide default backend.
 _ENV_VAR = "REPRO_DSP_BACKEND"
@@ -54,19 +59,19 @@ class DspBackend:
     #: Complex dtype of every array this backend produces.
     complex_dtype: np.dtype = np.dtype(np.complex128)
 
-    def asarray(self, values) -> np.ndarray:
+    def asarray(self, values: npt.ArrayLike) -> ComplexArrayAny:
         """Coerce ``values`` into this backend's working dtype."""
         return np.asarray(values, dtype=self.complex_dtype)
 
-    def zeros(self, shape) -> np.ndarray:
+    def zeros(self, shape: Union[int, Tuple[int, ...]]) -> ComplexArrayAny:
         """Zero-filled array in the backend dtype."""
         return np.zeros(shape, dtype=self.complex_dtype)
 
-    def fft(self, x: np.ndarray) -> np.ndarray:
+    def fft(self, x: npt.ArrayLike) -> ComplexArrayAny:
         """Forward FFT over the last axis (leading axes batched)."""
         raise NotImplementedError
 
-    def ifft(self, x: np.ndarray) -> np.ndarray:
+    def ifft(self, x: npt.ArrayLike) -> ComplexArrayAny:
         """Inverse FFT over the last axis (``1/N`` normalisation)."""
         raise NotImplementedError
 
@@ -86,11 +91,11 @@ class NumpyBackend(DspBackend):
     name = "numpy"
     complex_dtype = np.dtype(np.complex128)
 
-    def fft(self, x: np.ndarray) -> np.ndarray:
+    def fft(self, x: npt.ArrayLike) -> ComplexArrayAny:
         data = self.asarray(x)
         return get_plan(data.shape[-1]).forward(data)
 
-    def ifft(self, x: np.ndarray) -> np.ndarray:
+    def ifft(self, x: npt.ArrayLike) -> ComplexArrayAny:
         data = self.asarray(x)
         return get_plan(data.shape[-1]).inverse(data)
 
@@ -120,7 +125,7 @@ class SinglePrecisionBackend(DspBackend):
     name = "numpy32"
     complex_dtype = np.dtype(np.complex64)
 
-    def fft(self, x: np.ndarray) -> np.ndarray:
+    def fft(self, x: npt.ArrayLike) -> ComplexArrayAny:
         data = self.asarray(x)
         n = data.shape[-1]
         bit_reverse, twiddles = _single_precision_tables(n)
@@ -135,7 +140,7 @@ class SinglePrecisionBackend(DspBackend):
             work = work.reshape(*work.shape[:-2], n)
         return work
 
-    def ifft(self, x: np.ndarray) -> np.ndarray:
+    def ifft(self, x: npt.ArrayLike) -> ComplexArrayAny:
         data = self.asarray(x)
         scale = np.float32(1.0 / data.shape[-1])
         return np.conj(self.fft(np.conj(data))) * scale

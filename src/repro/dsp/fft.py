@@ -27,6 +27,9 @@ from functools import lru_cache
 from typing import List, Optional
 
 import numpy as np
+import numpy.typing as npt
+
+from repro.types import ComplexArray, IntArray
 
 from repro.dsp.fixedpoint import FixedPointFormat
 
@@ -36,7 +39,7 @@ def _validate_power_of_two(n: int) -> None:
         raise ValueError(f"FFT size must be a power of two >= 2, got {n}")
 
 
-def bit_reverse_indices(n: int) -> np.ndarray:
+def bit_reverse_indices(n: int) -> IntArray:
     """Bit-reversed index permutation used by the radix-2 FFT input stage."""
     _validate_power_of_two(n)
     bits = n.bit_length() - 1
@@ -79,7 +82,7 @@ class FftPlan:
         return self.inverse_twiddles if inverse else self.forward_twiddles
 
     # ------------------------------------------------------------------
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: npt.ArrayLike) -> ComplexArray:
         """Forward FFT over the last axis (any leading batch axes)."""
         n = self.size
         data = np.asarray(x, dtype=np.complex128)
@@ -96,18 +99,18 @@ class FftPlan:
             work = work.reshape(*work.shape[:-2], n)
         return work
 
-    def inverse(self, x: np.ndarray) -> np.ndarray:
+    def inverse(self, x: npt.ArrayLike) -> ComplexArray:
         """Inverse FFT over the last axis (``1/N`` normalisation)."""
         data = np.asarray(x, dtype=np.complex128)
         return np.conj(self.forward(np.conj(data))) / self.size
 
     def fixed_point(
         self,
-        x: np.ndarray,
+        x: npt.ArrayLike,
         fmt: FixedPointFormat,
         inverse: bool = False,
         scale_per_stage: bool = True,
-    ) -> np.ndarray:
+    ) -> ComplexArray:
         """Quantised transform over the last axis (any leading batch axes).
 
         Shares the plan's tables with the float path; see
@@ -137,7 +140,7 @@ def get_plan(size: int) -> FftPlan:
     return FftPlan(size)
 
 
-def fft(x: np.ndarray) -> np.ndarray:
+def fft(x: npt.ArrayLike) -> ComplexArray:
     """Iterative radix-2 decimation-in-time FFT.
 
     Matches ``numpy.fft.fft`` to floating-point precision; implemented
@@ -150,18 +153,18 @@ def fft(x: np.ndarray) -> np.ndarray:
     return get_plan(data.shape[-1]).forward(data)
 
 
-def ifft(x: np.ndarray) -> np.ndarray:
+def ifft(x: npt.ArrayLike) -> ComplexArray:
     """Inverse FFT matching ``numpy.fft.ifft`` (1/N normalisation)."""
     data = np.asarray(x, dtype=np.complex128)
     return get_plan(data.shape[-1]).inverse(data)
 
 
 def fixed_point_fft(
-    x: np.ndarray,
+    x: npt.ArrayLike,
     fmt: FixedPointFormat,
     inverse: bool = False,
     scale_per_stage: bool = True,
-) -> np.ndarray:
+) -> ComplexArray:
     """Radix-2 FFT with per-stage quantisation, modelling a hardware core.
 
     Parameters
@@ -218,7 +221,7 @@ class Fft:
         """Clock cycles from first sample in to first sample out."""
         return self.size + self.stages * self.PIPELINE_DEPTH_PER_STAGE
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: npt.ArrayLike) -> ComplexArray:
         """Forward FFT of length-``size`` blocks (leading axes batched)."""
         data = np.asarray(x, dtype=np.complex128)
         if data.shape[-1] != self.size:
@@ -227,7 +230,7 @@ class Fft:
             return self.plan.forward(data)
         return self.plan.fixed_point(data, self.fixed_format, inverse=False) * self.size
 
-    def inverse(self, x: np.ndarray) -> np.ndarray:
+    def inverse(self, x: npt.ArrayLike) -> ComplexArray:
         """Inverse FFT of length-``size`` blocks (leading axes batched)."""
         data = np.asarray(x, dtype=np.complex128)
         if data.shape[-1] != self.size:
@@ -238,9 +241,9 @@ class Fft:
 
 
 def ofdm_modulate(
-    frequency_domain: np.ndarray,
+    frequency_domain: npt.ArrayLike,
     cyclic_prefix_length: int,
-) -> np.ndarray:
+) -> ComplexArray:
     """IFFT + cyclic-prefix insertion for one OFDM symbol.
 
     The paper's cyclic-prefix block copies the last 25 % of the time-domain
@@ -260,10 +263,10 @@ def ofdm_modulate(
 
 
 def ofdm_demodulate(
-    time_domain: np.ndarray,
+    time_domain: npt.ArrayLike,
     fft_size: int,
     cyclic_prefix_length: int,
-) -> np.ndarray:
+) -> ComplexArray:
     """Cyclic-prefix removal + FFT for one OFDM symbol."""
     samples = np.asarray(time_domain, dtype=np.complex128)
     expected = fft_size + cyclic_prefix_length

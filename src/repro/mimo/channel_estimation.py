@@ -18,6 +18,9 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+import numpy.typing as npt
+
+from repro.types import ComplexArray
 from repro.exceptions import ChannelEstimationError
 from repro.mimo.matrix import hermitian
 from repro.mimo.qr import CordicQrDecomposer, qr_decompose_givens
@@ -25,10 +28,10 @@ from repro.mimo.rinv import invert_upper_triangular
 
 
 def estimate_channel_from_lts(
-    received_lts: np.ndarray,
-    reference_lts: np.ndarray,
-    active_mask: Optional[np.ndarray] = None,
-) -> np.ndarray:
+    received_lts: npt.ArrayLike,
+    reference_lts: npt.ArrayLike,
+    active_mask: Optional[npt.NDArray[np.bool_]] = None,
+) -> ComplexArray:
     """Estimate per-subcarrier channel matrices from staggered LTS symbols.
 
     Parameters
@@ -76,11 +79,11 @@ def estimate_channel_from_lts(
 
 
 def invert_channel_matrices(
-    channel: np.ndarray,
-    active_mask: Optional[np.ndarray] = None,
+    channel: npt.ArrayLike,
+    active_mask: Optional[npt.NDArray[np.bool_]] = None,
     use_cordic: bool = False,
     cordic_iterations: int = 16,
-) -> np.ndarray:
+) -> ComplexArray:
     """Invert per-subcarrier channel matrices via QR decomposition.
 
     Implements the paper's pipeline: ``H = Q R``; ``H^-1 = R^-1 Q^H``.
@@ -136,9 +139,9 @@ class ChannelEstimate:
         Boolean mask of the subcarriers that were estimated.
     """
 
-    matrices: np.ndarray
-    inverses: np.ndarray
-    active_mask: np.ndarray
+    matrices: ComplexArray
+    inverses: ComplexArray
+    active_mask: npt.NDArray[np.bool_]
 
     @property
     def fft_size(self) -> int:

@@ -13,13 +13,16 @@ from __future__ import annotations
 from typing import Optional
 
 import numpy as np
+import numpy.typing as npt
 
+from repro.contracts import shaped
 from repro.exceptions import DecodingError
 from repro.mimo.channel_estimation import ChannelEstimate
 from repro.mimo.matrix import hermitian
+from repro.types import ComplexArray, FloatArray
 
 
-def _apply_per_subcarrier(weights: np.ndarray, received: np.ndarray) -> np.ndarray:
+def _apply_per_subcarrier(weights: ComplexArray, received: npt.ArrayLike) -> ComplexArray:
     """Multiply per-subcarrier weight matrices into received vectors.
 
     ``weights`` has shape ``(fft_size, n_out, n_rx)``.  ``received`` is either
@@ -45,7 +48,11 @@ def _apply_per_subcarrier(weights: np.ndarray, received: np.ndarray) -> np.ndarr
     )
 
 
-def zf_detect(received: np.ndarray, channel_inverses: np.ndarray) -> np.ndarray:
+@shaped(
+    received="(n_rx, fft_size) | (n_rx, n_symbols, fft_size)",
+    channel_inverses="(fft_size, n_tx, n_rx)",
+)
+def zf_detect(received: npt.ArrayLike, channel_inverses: npt.ArrayLike) -> ComplexArray:
     """Zero-forcing detection: multiply by the stored ``H^-1`` per subcarrier.
 
     Parameters
@@ -74,11 +81,11 @@ class ZeroForcingDetector:
     def __init__(self, estimate: ChannelEstimate) -> None:
         self.estimate = estimate
 
-    def detect(self, received: np.ndarray) -> np.ndarray:
+    def detect(self, received: npt.ArrayLike) -> ComplexArray:
         """Equalise ``received`` of shape ``(n_rx, fft_size)``."""
         return zf_detect(received, self.estimate.inverses)
 
-    def noise_enhancement(self) -> np.ndarray:
+    def noise_enhancement(self) -> FloatArray:
         """Per-subcarrier noise-enhancement factor of ZF equalisation.
 
         For each active subcarrier this is ``trace(inv @ inv^H) / n_tx`` —
@@ -130,7 +137,7 @@ class MmseDetector:
                 ) from error
         return weights
 
-    def detect(self, received: np.ndarray) -> np.ndarray:
+    def detect(self, received: npt.ArrayLike) -> ComplexArray:
         """Equalise one symbol ``(n_rx, fft_size)`` or a burst
         ``(n_rx, n_symbols, fft_size)``."""
         return _apply_per_subcarrier(self._weights, received)

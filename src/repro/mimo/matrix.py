@@ -3,14 +3,17 @@
 from __future__ import annotations
 
 import numpy as np
+import numpy.typing as npt
+
+from repro.types import ComplexArray
 
 
-def hermitian(matrix: np.ndarray) -> np.ndarray:
+def hermitian(matrix: npt.ArrayLike) -> ComplexArray:
     """Conjugate transpose."""
     return np.conj(np.asarray(matrix)).T
 
 
-def is_upper_triangular(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
+def is_upper_triangular(matrix: npt.ArrayLike, tolerance: float = 1e-9) -> bool:
     """True when everything below the main diagonal is (numerically) zero."""
     m = np.asarray(matrix)
     if m.ndim != 2 or m.shape[0] != m.shape[1]:
@@ -19,7 +22,7 @@ def is_upper_triangular(matrix: np.ndarray, tolerance: float = 1e-9) -> bool:
     return bool(np.all(np.abs(lower) <= tolerance))
 
 
-def is_unitary(matrix: np.ndarray, tolerance: float = 1e-8) -> bool:
+def is_unitary(matrix: npt.ArrayLike, tolerance: float = 1e-8) -> bool:
     """True when ``Q^H Q`` is (numerically) the identity."""
     q = np.asarray(matrix, dtype=np.complex128)
     if q.ndim != 2 or q.shape[0] != q.shape[1]:
@@ -28,7 +31,7 @@ def is_unitary(matrix: np.ndarray, tolerance: float = 1e-8) -> bool:
     return bool(np.allclose(hermitian(q) @ q, identity, atol=tolerance))
 
 
-def frobenius_error(a: np.ndarray, b: np.ndarray) -> float:
+def frobenius_error(a: npt.ArrayLike, b: npt.ArrayLike) -> float:
     """Relative Frobenius-norm error ``||a - b|| / ||b||``."""
     a_arr = np.asarray(a, dtype=np.complex128)
     b_arr = np.asarray(b, dtype=np.complex128)
@@ -40,7 +43,7 @@ def frobenius_error(a: np.ndarray, b: np.ndarray) -> float:
     return float(np.linalg.norm(a_arr - b_arr) / denom)
 
 
-def matrix_inverse_via_qr(matrix: np.ndarray) -> np.ndarray:
+def matrix_inverse_via_qr(matrix: npt.ArrayLike) -> ComplexArray:
     """Reference matrix inverse through NumPy's QR (float baseline).
 
     Used by the ablation benchmark that compares the paper's CORDIC/Givens

@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import numpy as np
 
+import numpy.typing as npt
+
+from repro.types import BitArray, IntArray
 from repro.modulation.constellations import Constellation, Modulation, get_constellation
 from repro.utils.bits import unpack_bits
 
@@ -58,7 +61,7 @@ class SymbolDemapper:
         received = np.asarray(symbols, dtype=np.complex128).ravel()
         return np.abs(received[:, None] - self.constellation.points[None, :]) ** 2
 
-    def hard_decisions(self, symbols: np.ndarray) -> np.ndarray:
+    def hard_decisions(self, symbols: npt.ArrayLike) -> BitArray:
         """Nearest-point hard demapping, returning the coded bit stream.
 
         ``symbols`` may have any shape; every symbol is demapped in one
@@ -68,7 +71,7 @@ class SymbolDemapper:
         """
         return unpack_bits(self.hard_addresses(symbols), self.bits_per_symbol)
 
-    def hard_addresses(self, symbols: np.ndarray) -> np.ndarray:
+    def hard_addresses(self, symbols: npt.ArrayLike) -> IntArray:
         """Nearest-point hard demapping, returning LUT addresses."""
         return np.argmin(self._distances(symbols), axis=1)
 
@@ -103,7 +106,7 @@ class SymbolDemapper:
     # ------------------------------------------------------------------
     # scalar reference implementations (agreement-test ground truth)
     # ------------------------------------------------------------------
-    def hard_decisions_scalar(self, symbols: np.ndarray) -> np.ndarray:
+    def hard_decisions_scalar(self, symbols: npt.ArrayLike) -> BitArray:
         """Per-symbol reference hard demapper (one symbol at a time)."""
         received = np.asarray(symbols, dtype=np.complex128).ravel()
         bits = []

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import numpy as np
 
+import numpy.typing as npt
+
+from repro.types import ComplexArray
 from repro.modulation.constellations import Constellation, Modulation, get_constellation
 from repro.utils.bits import pack_bits
 
@@ -31,7 +34,7 @@ class SymbolMapper:
         """LUT address width (coded bits per symbol)."""
         return self.constellation.bits_per_symbol
 
-    def map_bits(self, bits: np.ndarray) -> np.ndarray:
+    def map_bits(self, bits: npt.ArrayLike) -> ComplexArray:
         """Map a coded bit stream to symbols.
 
         The bit-stream length must be a multiple of ``bits_per_symbol``; bits
@@ -41,13 +44,13 @@ class SymbolMapper:
         addresses = pack_bits(bits, self.bits_per_symbol)
         return self.constellation.points[addresses]
 
-    def map_addresses(self, addresses: np.ndarray) -> np.ndarray:
+    def map_addresses(self, addresses: npt.ArrayLike) -> ComplexArray:
         """Map pre-grouped LUT addresses directly to symbols."""
         idx = np.asarray(addresses, dtype=np.int64)
         if idx.size and (idx.min() < 0 or idx.max() >= self.constellation.size):
             raise ValueError("address out of range for the constellation LUT")
         return self.constellation.points[idx]
 
-    def lut_contents(self) -> np.ndarray:
+    def lut_contents(self) -> ComplexArray:
         """The ROM contents (I/Q per address) for memory-initialisation files."""
         return self.constellation.points.copy()

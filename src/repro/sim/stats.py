@@ -34,10 +34,13 @@ allocation and be served entirely from the result store.
 from __future__ import annotations
 
 import math
-from typing import Dict, Tuple
+from typing import Dict, Literal, Tuple
 
 #: Interval methods the dispatching :func:`ber_interval` understands.
 INTERVAL_METHODS = ("wilson", "clopper-pearson")
+
+#: The binomial confidence-interval methods ``ber_interval`` accepts.
+IntervalMethod = Literal["wilson", "clopper-pearson"]
 
 
 def _normal_quantile(p: float) -> float:
@@ -133,7 +136,10 @@ def clopper_pearson_interval(
 
 
 def ber_interval(
-    errors: int, trials: int, confidence: float = 0.95, method: str = "wilson"
+    errors: int,
+    trials: int,
+    confidence: float = 0.95,
+    method: IntervalMethod = "wilson",
 ) -> Tuple[float, float]:
     """Dispatch to the named interval method (``INTERVAL_METHODS``)."""
     if method == "wilson":

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.types import FloatArray
 from repro.utils.rng import SeedLike, make_rng
 
 
@@ -38,7 +39,7 @@ class CbrTraffic:
         self.rate_fps = float(rate_fps)
         self.phase_s = float(phase_s)
 
-    def intervals(self, n_frames: int, rng: SeedLike = None) -> np.ndarray:
+    def intervals(self, n_frames: int, rng: SeedLike = None) -> FloatArray:
         """Deterministic gaps; the ``rng`` is accepted but unused."""
         if n_frames < 0:
             raise ValueError("n_frames must be non-negative")
@@ -61,7 +62,7 @@ class PoissonTraffic:
             raise ValueError("rate_fps must be positive")
         self.rate_fps = float(rate_fps)
 
-    def intervals(self, n_frames: int, rng: SeedLike = None) -> np.ndarray:
+    def intervals(self, n_frames: int, rng: SeedLike = None) -> FloatArray:
         """Exponential inter-arrival gaps in seconds."""
         if n_frames < 0:
             raise ValueError("n_frames must be non-negative")

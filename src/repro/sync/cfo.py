@@ -25,12 +25,15 @@ from typing import Optional
 
 import numpy as np
 
+import numpy.typing as npt
+
+from repro.types import ComplexArray
 from repro.core.preamble import PreambleGenerator
 from repro.exceptions import SynchronizationError
 
 
 def estimate_cfo_from_repetition(
-    samples: np.ndarray, period: int, start: int, n_periods: int
+    samples: npt.ArrayLike, period: int, start: int, n_periods: int
 ) -> float:
     """Estimate a normalised CFO from a periodic section of a sample stream.
 
@@ -54,7 +57,7 @@ def estimate_cfo_from_repetition(
     return float(np.angle(correlation) / (2.0 * np.pi * period))
 
 
-def apply_cfo_correction(samples: np.ndarray, cfo_normalized: float) -> np.ndarray:
+def apply_cfo_correction(samples: npt.ArrayLike, cfo_normalized: float) -> ComplexArray:
     """Remove a normalised CFO from a sample stream (any leading shape)."""
     x = np.asarray(samples, dtype=np.complex128)
     n = x.shape[-1]
@@ -102,7 +105,7 @@ class CfoEstimator:
         return 0.5 / self.lts_period
 
     # ------------------------------------------------------------------
-    def coarse(self, samples: np.ndarray, sts_start: int) -> float:
+    def coarse(self, samples: npt.ArrayLike, sts_start: int) -> float:
         """Coarse CFO from the 10 short-training repetitions."""
         # Use 8 of the 10 repetitions, skipping the first (transient) one.
         return estimate_cfo_from_repetition(
@@ -112,7 +115,7 @@ class CfoEstimator:
             n_periods=8,
         )
 
-    def fine(self, samples: np.ndarray, lts_start: int) -> float:
+    def fine(self, samples: npt.ArrayLike, lts_start: int) -> float:
         """Fine CFO from the two long-training repetitions of slot 0."""
         lts_cp = self.preamble.lts_cp_length
         return estimate_cfo_from_repetition(
@@ -122,7 +125,7 @@ class CfoEstimator:
             n_periods=2,
         )
 
-    def estimate(self, samples: np.ndarray, lts_start: int) -> CfoEstimate:
+    def estimate(self, samples: npt.ArrayLike, lts_start: int) -> CfoEstimate:
         """Combined coarse + fine estimate.
 
         The coarse estimate resolves the ambiguity of the fine one: the fine
@@ -139,6 +142,6 @@ class CfoEstimator:
         combined = fine + k * ambiguity
         return CfoEstimate(coarse=coarse, fine=fine, combined=float(combined))
 
-    def correct(self, samples: np.ndarray, estimate: CfoEstimate) -> np.ndarray:
+    def correct(self, samples: npt.ArrayLike, estimate: CfoEstimate) -> ComplexArray:
         """Remove the combined CFO estimate from a sample stream."""
         return apply_cfo_correction(samples, estimate.combined)

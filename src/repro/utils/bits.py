@@ -13,7 +13,19 @@ from typing import Iterable, Sequence, Union
 
 import numpy as np
 
-BitArray = np.ndarray
+from repro.types import BitArray, IntArray
+
+__all__ = [
+    "BitArray",
+    "bits_to_bytes",
+    "bits_to_int",
+    "bytes_to_bits",
+    "count_bit_errors",
+    "int_to_bits",
+    "pack_bits",
+    "random_bits",
+    "unpack_bits",
+]
 
 
 def _as_bit_array(bits: Union[Sequence[int], np.ndarray]) -> BitArray:
@@ -63,7 +75,7 @@ def bits_to_int(bits: Union[Sequence[int], np.ndarray]) -> int:
     return result
 
 
-def pack_bits(bits: Union[Sequence[int], np.ndarray], group: int) -> np.ndarray:
+def pack_bits(bits: Union[Sequence[int], np.ndarray], group: int) -> IntArray:
     """Group a bit stream into integers of ``group`` bits each, MSB first.
 
     This mirrors the symbol-mapper addressing in the paper: the interleaver

@@ -7,6 +7,7 @@ from typing import Sequence, Union
 import numpy as np
 
 from repro.utils.bits import count_bit_errors
+from repro.utils.units import linear_to_db
 
 
 def bit_error_rate(
@@ -75,4 +76,4 @@ def signal_to_noise_ratio_db(signal: np.ndarray, noisy: np.ndarray) -> float:
     noise_power = np.mean(np.abs(observed - clean) ** 2)
     if noise_power == 0:
         return float("inf")
-    return float(10.0 * np.log10(signal_power / noise_power))
+    return float(linear_to_db(signal_power / noise_power))

@@ -1,0 +1,30 @@
+"""Fixture: complex-precision mixing across the backend seam."""
+
+import numpy as np
+
+from repro.dsp.backend import get_backend
+
+backend = get_backend("numpy32")
+
+
+def mix_hard_precisions():
+    single = np.zeros(64, dtype=np.complex64)
+    double = np.zeros(64, dtype=np.complex128)
+    return single + double  # silently upcasts to complex128
+
+
+def store_backend_into_hard_buffer(block):
+    out = np.zeros((4, 64), dtype=np.complex128)
+    out[:] = backend.ifft(block)  # silent cast pins the precision
+    return out
+
+
+def concatenate_backend_with_hard(block):
+    head = np.zeros(16, dtype=np.complex128)
+    return np.concatenate([head, backend.fft(block)])
+
+
+def split_return_dtypes(block, empty):
+    if empty:
+        return np.zeros((4, 0), dtype=np.complex128)
+    return backend.ifft(block)

@@ -1,0 +1,30 @@
+"""Fixture: the backend dtype kept pure end to end — nothing may fire."""
+
+import numpy as np
+
+from repro.dsp.backend import get_backend
+
+backend = get_backend("numpy32")
+
+
+def stay_in_one_precision():
+    a = np.zeros(64, dtype=np.complex128)
+    b = np.zeros(64, dtype=np.complex128)
+    return a + b
+
+
+def store_backend_into_backend_buffer(block):
+    out = backend.zeros((4, 64))
+    out[:] = backend.ifft(block)
+    return out
+
+
+def concatenate_backend_with_backend(block):
+    head = backend.zeros(16)
+    return np.concatenate([head, backend.fft(block)])
+
+
+def consistent_return_dtypes(block, empty):
+    if empty:
+        return backend.zeros((4, 0))
+    return backend.ifft(block)

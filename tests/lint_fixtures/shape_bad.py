@@ -1,0 +1,28 @@
+"""Fixture: shape-contract violations the dataflow pass can prove."""
+
+import numpy as np
+
+from repro.contracts import shaped
+
+
+@shaped(block="(n_streams, n_symbols, fft_size)")
+def modulate(block):
+    return block
+
+
+def call_with_wrong_rank():
+    flat = np.zeros((4, 64), dtype=np.complex128)
+    return modulate(flat)  # rank 2 against a rank-3 contract
+
+
+def einsum_with_wrong_operand_rank():
+    weights = np.zeros((64, 4, 4), dtype=np.complex128)
+    received = np.zeros((4, 64), dtype=np.complex128)
+    # 'jnk' demands rank 3 but the operand is rank 2.
+    return np.einsum("kij,jnk->ink", weights, received)
+
+
+def unpack_with_wrong_arity():
+    x = np.zeros((4, 64), dtype=np.complex128)
+    n_rx, n_symbols, fft_size = x.shape  # rank 2 unpacked into 3 names
+    return n_rx + n_symbols + fft_size

@@ -1,0 +1,27 @@
+"""Fixture: the same shape contracts, satisfied — nothing may fire."""
+
+import numpy as np
+
+from repro.contracts import shaped
+
+
+@shaped(block="(n_streams, n_symbols, fft_size)")
+def modulate(block):
+    return block
+
+
+def call_with_matching_rank():
+    block = np.zeros((4, 12, 64), dtype=np.complex128)
+    return modulate(block)
+
+
+def einsum_with_matching_ranks():
+    weights = np.zeros((64, 4, 4), dtype=np.complex128)
+    received = np.zeros((4, 12, 64), dtype=np.complex128)
+    return np.einsum("kij,jnk->ink", weights, received)
+
+
+def unpack_with_matching_arity():
+    x = np.zeros((4, 64), dtype=np.complex128)
+    n_rx, fft_size = x.shape
+    return n_rx + fft_size

@@ -1,0 +1,24 @@
+"""Fixture: dB and linear power domains meeting without a conversion."""
+
+import numpy as np
+
+
+def inline_db_to_linear(snr_db, signal_power):
+    snr_linear = 10.0 ** (snr_db / 10.0)  # inline conversion idiom
+    return signal_power / snr_linear
+
+
+def cross_domain_arithmetic(snr_db, noise_variance):
+    return snr_db * noise_variance  # dB times linear is never a power
+
+
+def inline_linear_to_db(signal_power, noise_power):
+    return 10.0 * np.log10(signal_power / noise_power)
+
+
+def helper(noise_variance=1.0):
+    return noise_variance
+
+
+def keyword_crossing_domains(snr_db):
+    return helper(noise_variance=snr_db)  # keyword declares linear, gets dB

@@ -1,0 +1,20 @@
+"""Fixture: every domain crossing routed through repro.utils.units."""
+
+from repro.utils.units import db_to_linear, linear_to_db
+
+
+def noise_variance_from_snr(snr_db, signal_power):
+    snr_linear = db_to_linear(snr_db)
+    return signal_power / snr_linear
+
+
+def snr_in_db(signal_power, noise_power):
+    return linear_to_db(signal_power / noise_power)
+
+
+def helper(noise_variance=1.0):
+    return noise_variance
+
+
+def keyword_in_matching_domain(snr_db):
+    return helper(noise_variance=db_to_linear(snr_db))

@@ -60,6 +60,14 @@ FIXTURE_CASES = [
     ("exc_bare_ok.py", "examples/fixture.py", {}),
     ("exc_linalg_bad.py", "src/repro/mimo/fixture.py", {"EXC002": 3}),
     ("exc_linalg_ok.py", "src/repro/mimo/fixture.py", {}),
+    ("shape_bad.py", "src/repro/mimo/fixture.py", {"SHAPE001": 3}),
+    ("shape_ok.py", "src/repro/mimo/fixture.py", {}),
+    ("dtype_bad.py", "src/repro/core/fixture.py", {"DTYPE001": 4}),
+    ("dtype_bad.py", "src/repro/dsp/fixture.py", {}),  # the seam itself is exempt
+    ("dtype_ok.py", "src/repro/core/fixture.py", {}),
+    ("unit_bad.py", "src/repro/channel/fixture.py", {"UNIT001": 4}),
+    ("unit_bad.py", "src/repro/utils/units.py", {}),  # the converter module is exempt
+    ("unit_ok.py", "src/repro/channel/fixture.py", {}),
     ("suppressed_ok.py", "src/repro/channel/fixture.py", {}),
     ("suppressed_unjustified.py", "src/repro/channel/fixture.py", {"LINT001": 1}),
     ("suppressed_unused.py", "src/repro/channel/fixture.py", {"LINT002": 1}),
@@ -132,6 +140,52 @@ def test_suppression_for_unselected_rule_is_not_flagged_useless():
     # A genuinely dead suppression still trips LINT002 under the full set.
     dead = lint_source(
         "x = 1  # reprolint: disable=DET001 -- nothing here\n", relpath
+    )
+    assert [v.rule for v in dead] == ["LINT002"]
+
+
+@pytest.mark.parametrize(
+    "rule_id, source",
+    [
+        (
+            "SHAPE001",
+            "import numpy as np\n"
+            "n_rx, n_tx, extra = np.zeros((4, 4)).shape"
+            "  # reprolint: disable=SHAPE001 -- fixture justification\n",
+        ),
+        (
+            "DTYPE001",
+            "import numpy as np\n"
+            "x = np.zeros(4, dtype=np.complex64)"
+            " + np.zeros(4, dtype=np.complex128)"
+            "  # reprolint: disable=DTYPE001 -- fixture justification\n",
+        ),
+        (
+            "UNIT001",
+            "def f(snr_db):\n"
+            "    return 10.0 ** (snr_db / 10.0)"
+            "  # reprolint: disable=UNIT001 -- fixture justification\n",
+        ),
+    ],
+)
+def test_dataflow_rule_suppressions_respect_select_subsets(rule_id, source):
+    """--select runs without a dataflow rule must not flag its suppressions.
+
+    Mirrors ``test_suppression_for_unselected_rule_is_not_flagged_useless``
+    for the three dataflow rules: a suppression that never got the chance
+    to fire (rule unselected) is ignored, one that fires is consumed, and
+    a dead one still trips LINT002 under the full set.
+    """
+    from repro_lint.rules.seam import SeamPurityRule
+
+    relpath = "src/repro/channel/fixture.py"
+    # Rule not in the selected set: the suppression is silently ignored.
+    assert lint_source(source, relpath, rules=[SeamPurityRule()]) == []
+    # Full rule set: the rule fires and the suppression absorbs it.
+    assert lint_source(source, relpath) == []
+    # A dead suppression for the same rule still trips LINT002.
+    dead = lint_source(
+        f"x = 1  # reprolint: disable={rule_id} -- nothing here\n", relpath
     )
     assert [v.rule for v in dead] == ["LINT002"]
 
@@ -267,7 +321,7 @@ def _lint_cli(*args: str) -> subprocess.CompletedProcess:
 
 
 def test_tree_is_lint_clean():
-    result = _lint_cli("src", "tools", "examples")
+    result = _lint_cli("src", "tools", "examples", "tests")
     assert result.returncode == 0, result.stdout + result.stderr
     assert "OK" in result.stdout
 

@@ -1,0 +1,80 @@
+"""The ``make typecheck`` gate: exit status, report artifact, config.
+
+``tools/typecheck.py`` must exit 0 on this tree whether or not mypy is
+installed (absent mypy is a *skip with a warning*, mirroring the ruff
+pass of ``make lint``), and must always leave a machine-readable JSON
+report behind.  These tests drive the real subprocess so the gate is
+exercised exactly as ``make test`` runs it.
+"""
+
+import json
+import subprocess
+import sys
+import tomllib
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DRIVER = REPO_ROOT / "tools" / "typecheck.py"
+
+
+def run_driver(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(DRIVER), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+
+
+def test_typecheck_exits_zero_on_this_tree(tmp_path):
+    report = tmp_path / "typecheck_report.json"
+    result = run_driver("--report", str(report))
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert report.exists(), "the driver must always write its report"
+
+
+def test_report_artifact_records_the_outcome(tmp_path):
+    report = tmp_path / "report.json"
+    run_driver("--report", str(report))
+    payload = json.loads(report.read_text())
+    assert payload["tool"] == "mypy"
+    if payload["skipped"]:
+        # No mypy in the container: the skip must say so.
+        assert payload["reason"]
+    else:
+        # mypy ran: the annotated tree must be clean.
+        assert payload["errors"] == 0, payload.get("notes")
+        assert payload["exit_status"] == 0
+
+
+def test_skip_path_warns_on_stderr_when_mypy_is_absent(tmp_path):
+    report = tmp_path / "report.json"
+    result = run_driver("--report", str(report))
+    payload = json.loads(report.read_text())
+    if payload["skipped"]:
+        assert "mypy" in result.stderr.lower()
+        assert "skip" in result.stderr.lower()
+
+
+def test_mypy_policy_is_strict_on_annotated():
+    # The config must keep gradual typing gradual: unannotated internals
+    # stay unchecked, annotated signatures are held complete.
+    pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    mypy_cfg = pyproject["tool"]["mypy"]
+    assert mypy_cfg["disallow_untyped_defs"] is False
+    assert mypy_cfg["disallow_incomplete_defs"] is True
+    assert mypy_cfg["no_implicit_optional"] is True
+    assert mypy_cfg["packages"] == ["repro"]
+
+
+def test_py_typed_marker_ships_with_the_package():
+    assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()
+    pyproject = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    package_data = pyproject["tool"]["setuptools"]["package-data"]
+    assert "py.typed" in package_data["repro"]
+
+
+def test_make_test_depends_on_the_typecheck_gate():
+    makefile = (REPO_ROOT / "Makefile").read_text()
+    assert "test: lint typecheck" in makefile
+    assert "tools/typecheck.py" in makefile

@@ -23,6 +23,13 @@ VER001    the semantics-bearing modules are fingerprinted into a
 EXC001    no bare ``except:`` and no silently-swallowed ``Exception``
 EXC002    raising ``np.linalg`` solvers in datapath code must translate
           ``LinAlgError`` into ``DecodingError``
+SHAPE001  declared ``@shaped`` contracts, einsum subscripts and shape
+          unpacks must hold wherever dimensions are statically known
+DTYPE001  no complex64/complex128 mixing, and no hard-coded complex
+          dtype meeting a ``DspBackend``-produced value, outside
+          ``repro/dsp``
+UNIT001   dB and linear power domains only meet through
+          ``repro.utils.units`` conversions
 LINT001   suppression comments must carry a written justification
 LINT002   suppression comments must actually suppress something
 ========  ==============================================================
@@ -31,7 +38,7 @@ Findings are suppressed per line with a justified comment::
 
     y = np.fft.fft(x)  # reprolint: disable=SEAM001 -- ground truth only
 
-Run it as ``python -m repro_lint src tools examples`` (or ``make lint``);
+Run it as ``python -m repro_lint src tools examples tests`` (or ``make lint``);
 see ``docs/linting.md`` for the full catalog and the manifest-refresh
 workflow.
 """

@@ -2,7 +2,7 @@
 
 Usage (also wired as ``make lint``)::
 
-    python -m repro_lint src tools examples        # text report, exit 1 on findings
+    python -m repro_lint src tools examples tests  # text report, exit 1 on findings
     python -m repro_lint --format json src          # machine-readable report
     python -m repro_lint --list-rules               # rule catalog
     python -m repro_lint --refresh-manifest         # rewrite the engine manifest
@@ -88,7 +88,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "paths",
         nargs="*",
-        help="files or directories to lint (default: src tools examples)",
+        help="files or directories to lint (default: src tools examples tests)",
     )
     parser.add_argument(
         "--root",
@@ -135,7 +135,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     targets = [Path(p) for p in args.paths] or [
-        root / "src", root / "tools", root / "examples"
+        root / "src", root / "tools", root / "examples", root / "tests"
     ]
     missing = [str(t) for t in targets if not t.exists()]
     if missing:

@@ -363,6 +363,10 @@ def discover_files(targets: Iterable[Path]) -> List[Path]:
                 p
                 for p in sorted(target.rglob("*.py"))
                 if "__pycache__" not in p.parts
+                # The lint fixtures violate rules on purpose; they are
+                # exercised by tests/test_repro_lint.py under virtual
+                # paths, never linted as part of the tree.
+                and "lint_fixtures" not in p.parts
             )
         elif target.suffix == ".py":
             found.append(target)

@@ -1,0 +1,154 @@
+"""DTYPE001 — no silent complex-precision mixing across the backend seam.
+
+PR 7 made the transform arithmetic a backend decision: the ``"numpy32"``
+backend runs the burst datapaths in complex64 precisely so the transform
+stages move half the memory.  That property is fragile — numpy silently
+*upcasts* whenever a complex64 array meets a complex128 one, so a single
+hard-coded ``dtype=np.complex128`` buffer downstream of a backend call
+quietly turns the single-precision path back into double precision (or,
+on the store side, quietly truncates doubles to singles) while every test
+stays green.
+
+This rule uses the dataflow pass to flag, in engine code outside
+``repro/dsp`` (the seam may convert; nobody else may):
+
+* arithmetic mixing a complex64 fact with a complex128 fact;
+* arithmetic or ``np.concatenate``/``np.stack`` combining a
+  *backend-dtype* value (produced by ``DspBackend.fft/ifft/asarray/zeros``)
+  with a hard-coded complex dtype;
+* subscript stores of a backend-dtype value into a hard-coded complex
+  buffer (``buf[...] = backend.ifft(...)`` — the classic silent upcast);
+* functions that return a backend-dtype value on one path and a
+  hard-coded complex dtype on another, splitting the seam contract.
+
+The sanctioned spellings are ``backend.asarray``/``backend.zeros`` (stay
+in the backend dtype) or an explicit, commented conversion at a declared
+boundary with a justified suppression.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro_lint.core import FileContext, Rule, Violation, register
+from repro_lint.dataflow import Fact, analysis_of
+
+_HARD = ("complex64", "complex128")
+
+
+def _mix(left: Optional[str], right: Optional[str]) -> Optional[str]:
+    """A message when the two dtypes must not meet, else None."""
+    pair = {left, right}
+    if pair == {"complex64", "complex128"}:
+        return (
+            "complex64 meets complex128 here; numpy silently upcasts to "
+            "complex128 — pick one precision or convert explicitly"
+        )
+    if "backend" in pair and (pair & set(_HARD)):
+        hard = (pair & set(_HARD)).pop()
+        return (
+            f"backend-dtype value meets hard-coded {hard}; under the "
+            "\"numpy32\" backend this silently changes precision — use "
+            "backend.asarray/backend.zeros to stay in the backend dtype"
+        )
+    return None
+
+
+@register
+class DtypeSeamRule(Rule):
+    rule_id = "DTYPE001"
+    name = "dtype-seam-purity"
+    description = (
+        "no complex64/complex128 mixing, and no hard-coded complex dtype "
+        "meeting a DspBackend-produced value, outside repro/dsp"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.startswith("src/repro/") and not relpath.startswith(
+            "src/repro/dsp/"
+        )
+
+    def check(self, ctx: FileContext) -> List[Violation]:
+        events = analysis_of(ctx)
+        violations: List[Violation] = []
+
+        for event in events.binops:
+            message = _mix(event.left.dtype, event.right.dtype)
+            if message is not None:
+                violations.append(self.violation(ctx, event.node, message))
+
+        for event in events.stores:
+            if event.value.dtype == "backend" and event.target.dtype in _HARD:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        event.node,
+                        "backend-dtype value stored into a hard-coded "
+                        f"{event.target.dtype} buffer; the store casts "
+                        "silently and the buffer pins the precision — "
+                        "allocate the buffer with backend.zeros instead",
+                    )
+                )
+            elif (
+                event.value.dtype in _HARD
+                and event.target.dtype == "backend"
+            ):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        event.node,
+                        f"hard-coded {event.value.dtype} value stored into a "
+                        "backend-dtype buffer casts silently under the "
+                        "\"numpy32\" backend — produce the value via "
+                        "backend.asarray",
+                    )
+                )
+
+        for event in events.concats:
+            dtypes = {element.dtype for element in event.elements}
+            message = None
+            if {"complex64", "complex128"} <= dtypes:
+                message = (
+                    "concatenating complex64 with complex128 silently "
+                    "upcasts the result to complex128"
+                )
+            elif "backend" in dtypes and (dtypes & set(_HARD)):
+                hard = (dtypes & set(_HARD)).pop()
+                message = (
+                    f"concatenating a backend-dtype value with hard-coded "
+                    f"{hard} defeats the \"numpy32\" backend — build the "
+                    "companion array with backend.zeros/backend.asarray"
+                )
+            if message is not None:
+                violations.append(self.violation(ctx, event.node, message))
+
+        for event in events.return_sets:
+            conflict = _return_conflict(event.facts)
+            if conflict is not None:
+                node, dtypes = conflict
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        f"{event.qualname} returns {dtypes[0]} on one path "
+                        f"and {dtypes[1]} on another; callers get a "
+                        "backend-dependent precision surprise — make every "
+                        "return path produce the backend dtype",
+                    )
+                )
+        return violations
+
+
+def _return_conflict(facts) -> Optional[Tuple[object, Tuple[str, str]]]:
+    """First return whose dtype splits the seam contract, if any."""
+    seen_backend = None
+    seen_hard = None
+    for node, fact in facts:
+        if fact.dtype == "backend":
+            seen_backend = (node, fact)
+        elif fact.dtype in _HARD:
+            seen_hard = (node, fact)
+    if seen_backend is not None and seen_hard is not None:
+        # Anchor on the hard-coded return — that is the line to fix.
+        return seen_hard[0], (seen_hard[1].dtype, "the backend dtype")
+    return None

@@ -1,0 +1,186 @@
+"""SHAPE001 — declared shape contracts must hold where shapes are static.
+
+The datapath is a chain of fixed-shape tensor stages, and the costliest
+historical bugs were *shape* mistakes that no unit test saw until a sweep
+ran (the sample-delay length bug, the truncated-FFT-window clamp).  The
+runtime :func:`repro.contracts.shaped` decorator turns a stage's shape
+expectations into a declaration::
+
+    @shaped(streams="(n_rx, n_samples)")
+    def equalize_burst(self, streams, ...): ...
+
+This rule checks those declarations statically wherever the dataflow pass
+(:mod:`repro_lint.dataflow`) can prove what a call site passes — a rank
+mismatch, a violated literal dimension, or one contract name bound to two
+different literal sizes all fire.  Independent of decorators it also
+checks the shape contracts the code states *inline*:
+
+* explicit ``np.einsum`` subscripts — operand count, output letters that
+  never appear in an input, operand rank vs subscript arity, and one
+  letter bound to two different literal dimensions;
+* tuple unpacks of ``x.shape`` whose arity contradicts the known rank;
+* broadcasting two known literal dimensions that can never broadcast.
+
+Everything the pass cannot prove stays silent — symbolic dimensions are
+only compared when both sides are literals.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from repro_lint.core import FileContext, Rule, Violation, register
+from repro_lint.dataflow import (
+    Fact,
+    analysis_of,
+    format_alternatives,
+    match_contract,
+    parse_einsum_spec,
+)
+
+
+@register
+class ShapeContractRule(Rule):
+    rule_id = "SHAPE001"
+    name = "shape-contracts"
+    description = (
+        "declared @shaped contracts, einsum subscripts and shape unpacks "
+        "must hold wherever dimensions are statically known"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> List[Violation]:
+        events = analysis_of(ctx)
+        violations: List[Violation] = []
+
+        # 1. @shaped contracts at statically-known call sites.
+        for event in events.shaped_calls:
+            bindings: dict = {}
+            for param, alternatives in event.contract.params.items():
+                if param == "return":
+                    continue
+                if param not in event.bound:
+                    continue
+                arg_node, fact = event.bound[param]
+                # Rank-0 facts are plain Python scalars as far as this
+                # pass can tell, and the runtime decorator skips
+                # non-array arguments entirely — matching them here
+                # would flag calls the runtime deliberately tolerates.
+                if fact.shape is None or fact.shape == ():
+                    continue
+                reason = match_contract(alternatives, fact.shape, bindings)
+                if reason is not None:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            arg_node,
+                            f"argument '{param}' of {event.contract.qualname} "
+                            f"violates its shape contract "
+                            f"{format_alternatives(alternatives)}: {reason}",
+                        )
+                    )
+
+        # 2. Explicit einsum subscripts.
+        for event in events.einsums:
+            parsed = parse_einsum_spec(event.spec)
+            if parsed is None:
+                continue
+            groups, output = parsed
+            if len(groups) != len(event.operands):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        event.node,
+                        f"einsum {event.spec!r} names {len(groups)} operand "
+                        f"group(s) but receives {len(event.operands)}",
+                    )
+                )
+                continue
+            input_letters = set("".join(groups))
+            if output is not None:
+                missing = [c for c in output if c not in input_letters]
+                if missing:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            event.node,
+                            f"einsum {event.spec!r} output uses "
+                            f"{', '.join(repr(c) for c in missing)} which "
+                            "appears in no input subscript",
+                        )
+                    )
+            bound: dict = {}
+            for index, (group, operand) in enumerate(
+                zip(groups, event.operands)
+            ):
+                if operand.shape is None:
+                    continue
+                if len(operand.shape) != len(group):
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            event.node,
+                            f"einsum {event.spec!r} operand {index} has rank "
+                            f"{len(operand.shape)} but subscript "
+                            f"{group!r} demands rank {len(group)}",
+                        )
+                    )
+                    continue
+                for letter, dim in zip(group, operand.shape):
+                    if not isinstance(dim, int):
+                        continue
+                    previous = bound.get(letter)
+                    if previous is None:
+                        bound[letter] = dim
+                    elif previous != dim:
+                        violations.append(
+                            self.violation(
+                                ctx,
+                                event.node,
+                                f"einsum {event.spec!r} binds '{letter}' to "
+                                f"both {previous} and {dim}",
+                            )
+                        )
+
+        # 3. Shape unpacks with the wrong arity.
+        for event in events.unpacks:
+            violations.append(
+                self.violation(
+                    ctx,
+                    event.node,
+                    f"unpacking .shape into {event.n_targets} name(s) but the "
+                    f"value has rank {len(event.fact.shape)}",
+                )
+            )
+
+        # 4. Broadcasting two incompatible literal dimensions.
+        for event in events.binops:
+            conflict = _broadcast_conflict(event.left, event.right)
+            if conflict is not None:
+                violations.append(
+                    self.violation(
+                        ctx,
+                        event.node,
+                        "operands can never broadcast: trailing dimensions "
+                        f"{conflict[0]} and {conflict[1]} are incompatible",
+                    )
+                )
+        return violations
+
+
+def _broadcast_conflict(left: Fact, right: Fact):
+    if left.shape is None or right.shape is None:
+        return None
+    a, b = left.shape, right.shape
+    for dim_a, dim_b in zip(reversed(a), reversed(b)):
+        if (
+            isinstance(dim_a, int)
+            and isinstance(dim_b, int)
+            and dim_a != dim_b
+            and 1 not in (dim_a, dim_b)
+        ):
+            return dim_a, dim_b
+    return None

@@ -1,0 +1,159 @@
+"""UNIT001 — dB and linear power domains never meet without a conversion.
+
+The dB-vs-linear SNR miscalibration fixed in PR 7 is the archetypal unit
+bug: both domains are plain floats, so nothing in the type system stops
+``snr_db`` from leaking into linear arithmetic — the numbers are simply
+wrong by orders of magnitude.  The repo's convention makes the domain
+visible in the *name* (``*_db`` vs ``*_linear`` / ``noise_variance`` /
+``signal_power`` / ``power``), and :mod:`repro.utils.units` owns the two
+sanctioned crossings: :func:`~repro.utils.units.db_to_linear` /
+:func:`~repro.utils.units.amplitude_db_to_gain` and
+:func:`~repro.utils.units.linear_to_db`.
+
+Backed by the dataflow pass (which propagates the domain through
+assignments and sanctioned conversion calls), this rule flags:
+
+* arithmetic (``+ - * /``) mixing a dB-domain fact with a linear-domain
+  fact — ``snr_db * noise_variance`` is never a power;
+* the inline conversion idioms ``10 ** (x_db / 10)``, ``10 ** (x_db / 20)``
+  and ``10 * log10(...)`` / ``20 * log10(...)`` outside
+  ``repro/utils/units.py`` — they are correct but unnameable; routing
+  them through the helpers is what lets this rule (and readers) reason
+  about the domain at all;
+* a keyword argument whose name declares one domain receiving a value the
+  pass proved belongs to the other (``noise_variance=snr_db``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from repro_lint.core import FileContext, Rule, Violation, register
+from repro_lint.dataflow import analysis_of, unit_from_name
+
+#: The one module allowed to spell conversions inline: it implements them.
+_UNITS_MODULE = "src/repro/utils/units.py"
+
+
+def _constant_value(node: ast.AST) -> Optional[float]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    return None
+
+
+def _is_log10(node: ast.AST) -> bool:
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(
+            func, "id", None
+        )
+        return name == "log10"
+    return False
+
+
+@register
+class UnitDomainRule(Rule):
+    rule_id = "UNIT001"
+    name = "db-linear-domains"
+    description = (
+        "dB and linear power values must only meet through "
+        "repro.utils.units (db_to_linear / linear_to_db / "
+        "amplitude_db_to_gain); inline 10**(x/10) and 10*log10 idioms are "
+        "flagged"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        if relpath == _UNITS_MODULE:
+            return False
+        return relpath.startswith("src/repro/") or relpath.startswith(
+            "examples/"
+        )
+
+    def check(self, ctx: FileContext) -> List[Violation]:
+        events = analysis_of(ctx)
+        violations: List[Violation] = []
+
+        for event in events.binops:
+            node = event.node
+            # Inline dB -> linear: 10 ** (x / 10) or 10 ** (x / 20).
+            if isinstance(node.op, ast.Pow) and _constant_value(
+                node.left
+            ) == 10.0:
+                exponent = node.right
+                divisor = None
+                if isinstance(exponent, ast.BinOp) and isinstance(
+                    exponent.op, ast.Div
+                ):
+                    divisor = _constant_value(exponent.right)
+                if divisor in (10.0, 20.0) or event.right.unit == "db":
+                    helper = (
+                        "amplitude_db_to_gain" if divisor == 20.0
+                        else "db_to_linear"
+                    )
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "inline dB-to-linear conversion; use "
+                            f"repro.utils.units.{helper} so the domain "
+                            "crossing is visible to readers and checkers",
+                        )
+                    )
+                    continue
+            # Inline linear -> dB: 10 * log10(...) or 20 * log10(...).
+            if isinstance(node.op, ast.Mult) and any(
+                _constant_value(scale) in (10.0, 20.0) and _is_log10(log)
+                for scale, log in (
+                    (node.left, node.right),
+                    (node.right, node.left),
+                )
+            ):
+                violations.append(
+                    self.violation(
+                        ctx,
+                        node,
+                        "inline linear-to-dB conversion; use "
+                        "repro.utils.units.linear_to_db so the domain "
+                        "crossing is visible to readers and checkers",
+                    )
+                )
+                continue
+            # Cross-domain arithmetic.
+            if isinstance(node.op, (ast.Add, ast.Sub, ast.Mult, ast.Div)):
+                units = {event.left.unit, event.right.unit}
+                if units == {"db", "linear"}:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            node,
+                            "dB-domain value meets linear-domain value in "
+                            "arithmetic without a conversion; route one side "
+                            "through repro.utils.units.db_to_linear / "
+                            "linear_to_db first",
+                        )
+                    )
+
+        # Keyword arguments crossing domains by name.
+        for event in events.calls:
+            for keyword in event.node.keywords:
+                if keyword.arg is None:
+                    continue
+                declared = unit_from_name(keyword.arg)
+                if declared is None:
+                    continue
+                fact = event.kw_facts.get(keyword.arg)
+                if fact is None or fact.unit is None:
+                    continue
+                if fact.unit != declared:
+                    violations.append(
+                        self.violation(
+                            ctx,
+                            keyword.value,
+                            f"keyword '{keyword.arg}' declares the "
+                            f"{declared} domain but receives a "
+                            f"{fact.unit}-domain value; convert with "
+                            "repro.utils.units first",
+                        )
+                    )
+        return violations
